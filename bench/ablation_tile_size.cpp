@@ -1,0 +1,60 @@
+// ablation_tile_size — design-choice ablation (DESIGN.md section 5): the
+// paper fixes the tiled-strided tile at (#CPU threads) on CPUs and
+// (3 x GPU cores) on GPUs without a sensitivity study. This harness sweeps
+// the tile size on the modeled A100 and MI250 (cache-scaled replay of the
+// repeated-keys gather-scatter) to show the plateau the paper's choice
+// sits on: too-small tiles re-introduce atomic contention, too-large tiles
+// overflow the LLC and lose reuse.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gs/gather_scatter.hpp"
+#include "sort/sorters.hpp"
+
+namespace {
+
+using namespace vpic;
+using pk::index_t;
+
+gpusim::DeviceSpec cache_scaled(const gpusim::DeviceSpec& dev, double scale) {
+  gpusim::DeviceSpec d = dev;
+  d.llc_mb = std::max(dev.llc_mb * scale, 16.0 * dev.line_bytes / 1e6);
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t n = bench::flag(argc, argv, "n", 1 << 22);
+  const index_t unique = std::max<index_t>(1, n / 100);
+  const double scale = static_cast<double>(n) / 1e9;
+
+  std::printf(
+      "== Ablation: tiled-strided tile size (modeled, cache-scaled replay, "
+      "n=%lld) ==\n\n",
+      static_cast<long long>(n));
+
+  for (const char* name : {"A100", "MI250"}) {
+    const auto dev = cache_scaled(gpusim::device(name), scale);
+    const auto paper_tile = static_cast<std::uint32_t>(std::max(
+        2048.0,
+        std::min(3.0 * dev.core_count, dev.llc_mb * 1e6 / 32.0)));
+    std::printf("%s (scaled LLC %.0f KB; harness default tile %u):\n", name,
+                dev.llc_mb * 1e3, paper_tile);
+    bench::Table t({"tile (keys)", "tile data (KB)", "GB/s", "bound"});
+    for (std::uint32_t tile :
+         {64u, 256u, 1024u, 2048u, 4096u, 8192u, 16384u, 65536u, 262144u}) {
+      auto keys = gs::make_keys(gs::Pattern::Repeated, n, unique);
+      pk::View<std::uint32_t, 1> payload("p", n);
+      sort::tiled_strided_sort(keys, payload, tile);
+      const auto timing = gs::model_gather_scatter(dev, keys, unique);
+      t.row({std::to_string(tile) + (tile == paper_tile ? " *" : ""),
+             bench::fmt("%.1f", tile * 8.0 / 1e3),
+             bench::fmt("%.2f", timing.bw_gbs),
+             gpusim::to_string(timing.bound)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// bench/bench_common.hpp — shared helpers for the paper-figure harnesses:
+// flag parsing (--n=, --quick) and fixed-width table printing so every
+// bench emits the rows/series its figure reports.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace vpic::bench {
+
+/// Parse "--name=value" style integer flags (also reads VPIC_BENCH_<NAME>
+/// from the environment as a fallback).
+inline std::int64_t flag(int argc, char** argv, const char* name,
+                         std::int64_t def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::atoll(argv[i] + prefix.size());
+  }
+  std::string env = "VPIC_BENCH_";
+  for (const char* c = name; *c; ++c)
+    env += static_cast<char>(std::toupper(*c));
+  if (const char* v = std::getenv(env.c_str())) return std::atoll(v);
+  return def;
+}
+
+inline bool has_flag(int argc, char** argv, const char* name) {
+  const std::string f = std::string("--") + name;
+  for (int i = 1; i < argc; ++i)
+    if (f == argv[i]) return true;
+  return false;
+}
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print() const {
+    std::vector<std::size_t> w(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+        w[c] = std::max(w[c], r[c].size());
+    auto line = [&](const std::vector<std::string>& cells) {
+      std::printf("| ");
+      for (std::size_t c = 0; c < w.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string();
+        std::printf("%-*s | ", static_cast<int>(w[c]), s.c_str());
+      }
+      std::printf("\n");
+    };
+    line(headers_);
+    std::printf("|");
+    for (std::size_t c = 0; c < w.size(); ++c) {
+      for (std::size_t k = 0; k < w[c] + 2; ++k) std::printf("-");
+      std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+}  // namespace vpic::bench

@@ -1,0 +1,40 @@
+// ext_weak_scaling — companion diagnostic to the Fig. 10 strong-scaling
+// study: the per-GPU problem is held fixed (a cache-resident grid, per the
+// paper's sweet spot) while GPUs are added. Ideal weak scaling is a flat
+// step time; the deviation isolates the alpha-beta communication model's
+// growth and shows the paper's claim that the 6-neighbor exchange "scales
+// efficiently as more nodes are added" (Section 2.1).
+#include "bench_common.hpp"
+#include "gpusim/gpusim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vpic;
+  const auto cap =
+      static_cast<std::uint64_t>(bench::flag(argc, argv, "cap", 500'000));
+
+  std::printf("== Extension: weak scaling (fixed per-GPU problem) ==\n\n");
+  for (const char* name : {"V100", "A100", "MI300A"}) {
+    const auto& dev = gpusim::device(name);
+    // Cache-resident per-GPU grid (the Fig. 9 peak), healthy ppc.
+    const auto grid =
+        static_cast<std::uint64_t>(0.9 * dev.llc_bytes() / 800.0);
+    const std::uint64_t particles = grid * 32;
+    const auto pts = gpusim::weak_scaling(
+        dev, grid, particles, {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}, {},
+        {}, 777, cap);
+    std::printf("%s: %llu grid points, %llu particles per GPU\n", name,
+                static_cast<unsigned long long>(grid),
+                static_cast<unsigned long long>(particles));
+    bench::Table t({"GPUs", "push (ms)", "comm (ms)", "step (ms)",
+                    "efficiency"});
+    for (const auto& p : pts)
+      t.row({std::to_string(p.ranks),
+             bench::fmt("%.3f", p.push_seconds * 1e3),
+             bench::fmt("%.3f", p.comm_seconds * 1e3),
+             bench::fmt("%.3f", p.step_seconds * 1e3),
+             bench::fmt("%.0f%%", 100.0 * p.efficiency)});
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

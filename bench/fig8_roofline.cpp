@@ -1,0 +1,66 @@
+// fig8_roofline — reproduces Figure 8: rooflines of the particle push
+// kernel on H100, MI250 and MI300A for the different sorting orders, from
+// the analytic model's counters (the stand-in for nsight-compute /
+// rocprof-compute; see DESIGN.md).
+//
+// Expected shape: on H100, standard sort has high AI (~3.6) but ~1% peak
+// utilization; tiled-strided keeps the AI while lifting throughput ~12x.
+// On MI250 the gain is larger (~20x). On MI300A all orders sit below
+// AI ~1 and are memory-bound.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/core.hpp"
+#include "gpusim/gpusim.hpp"
+#include "roofline/roofline.hpp"
+
+namespace {
+
+using namespace vpic;
+
+std::vector<std::uint32_t> order_cells(const pk::View<std::uint32_t, 1>& keys,
+                                       sort::SortOrder order,
+                                       std::uint32_t tile) {
+  pk::View<std::uint32_t, 1> k("k", keys.size());
+  pk::View<std::uint32_t, 1> payload("p", keys.size());
+  pk::deep_copy(k, keys);
+  sort::sort_pairs(order, k, payload, tile);
+  return {k.data(), k.data() + k.size()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int ppc = static_cast<int>(bench::flag(argc, argv, "ppc", 8));
+
+  core::decks::LpiParams lp;
+  lp.nx = static_cast<int>(vpic::bench::flag(argc, argv, "nx", 96));
+  lp.ny = static_cast<int>(vpic::bench::flag(argc, argv, "ny", 48));
+  lp.nz = static_cast<int>(vpic::bench::flag(argc, argv, "nz", 48));
+  lp.ppc = ppc;
+  lp.sort_interval = 0;
+  auto sim = core::decks::make_lpi(lp);
+  sim.run(5);
+  auto keys = sim.species(0).cell_keys();
+  const auto grid_points = static_cast<std::uint64_t>(sim.grid().nv());
+
+  std::printf(
+      "== Figure 8: particle-push rooflines per sorting order ==\n\n");
+  for (const auto& name : {"H100", "MI250", "MI300A"}) {
+    const auto& dev = gpusim::device(name);
+    const auto tile = static_cast<std::uint32_t>(3 * dev.core_count);
+    std::vector<roofline::RooflinePoint> pts;
+    for (const auto order :
+         {sort::SortOrder::Standard, sort::SortOrder::Strided,
+          sort::SortOrder::TiledStrided}) {
+      const auto cells = order_cells(keys, order, tile);
+      const auto res = gpusim::model_push(dev, cells, grid_points);
+      pts.push_back(
+          roofline::analyze(dev, res.profile, sort::to_string(order)));
+    }
+    std::printf("%s\n", roofline::format_report(dev, pts).c_str());
+    const double gain = pts.back().gflops / pts.front().gflops;
+    std::printf("  tiled-strided vs standard throughput: %.1fx\n\n", gain);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// validation_decks — physics quality gate: runs each input deck briefly
+// and prints the energy balance and its drift. Not a paper figure; this is
+// the "does the plasma behave" check a nightly CI would watch, using the
+// same EnergyHistory diagnostic users get from the public API.
+#include "bench_common.hpp"
+#include "core/core.hpp"
+
+namespace {
+
+using namespace vpic;
+
+void report(const char* name, core::Simulation& sim, int steps,
+            int interval) {
+  sim.config().energy_interval = interval;
+  sim.run(steps);
+  const auto& h = sim.energy_history();
+  std::printf("%s (%d steps):\n", name, steps);
+  bench::Table t({"step", "field E", "kinetic E", "total E"});
+  for (std::size_t i = 0; i < h.size(); ++i)
+    t.row({std::to_string(h.step(i)), bench::fmt("%.4e", h.field(i)),
+           bench::fmt("%.4e", h.kinetic(i)),
+           bench::fmt("%.6e", h.total(i))});
+  t.print();
+  std::printf("  max relative energy drift: %.3f%%%s\n\n",
+              100.0 * h.max_relative_drift(),
+              name[0] == 'u' && h.max_relative_drift() > 0.05
+                  ? "  <-- CHECK"
+                  : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int steps = static_cast<int>(vpic::bench::flag(argc, argv, "steps", 60));
+  std::printf("== Physics validation: deck energy balance ==\n"
+              "(thermal plasma should conserve; LPI gains energy from the "
+              "antenna; Weibel converts beam KE to field)\n\n");
+
+  {
+    core::SimulationConfig cfg;
+    cfg.grid = core::Grid(8, 8, 8, 8, 8, 8, 0);
+    cfg.grid.dt = core::Grid::courant_dt(1, 1, 1, 0.6f);
+    core::Simulation sim(cfg);
+    const auto e = sim.add_species("e", -1.0f, 1.0f, 1 << 14);
+    const auto i = sim.add_species("i", 1.0f, 100.0f, 1 << 14);
+    sim.load_uniform_plasma(e, 8, 0.1f);
+    sim.load_uniform_plasma(i, 8, 0.01f);
+    report("uniform thermal plasma", sim, steps, steps / 6);
+  }
+  {
+    core::decks::LpiParams p;
+    p.nx = 24;
+    p.ny = 8;
+    p.nz = 8;
+    p.ppc = 8;
+    auto sim = core::decks::make_lpi(p);
+    report("laser-plasma (LPI)", sim, steps, steps / 6);
+  }
+  {
+    core::decks::WeibelParams p;
+    p.nx = 12;
+    p.ny = 12;
+    p.nz = 12;
+    p.ppc = 8;
+    p.u_beam = 0.4f;
+    auto sim = core::decks::make_weibel(p);
+    report("Weibel (counter-streaming)", sim, steps, steps / 6);
+  }
+  {
+    core::decks::ReconnectionParams p;
+    p.nx = 16;
+    p.ny = 4;
+    p.nz = 16;
+    p.ppc = 6;
+    auto sim = core::decks::make_reconnection(p);
+    report("magnetic reconnection (Harris)", sim, steps, steps / 6);
+  }
+  return 0;
+}

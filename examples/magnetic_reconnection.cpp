@@ -1,0 +1,56 @@
+// magnetic_reconnection — Harris current sheet with a GEM-challenge island
+// perturbation: the flagship VPIC science problem (paper Sections 2.1/6).
+// Tracks the reconnected flux proxy (peak |Bz|) and the energy exchange
+// between fields and particles as the island grows.
+//
+//   ./magnetic_reconnection [steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/core.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vpic;
+  pk::initialize();
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 150;
+
+  core::decks::ReconnectionParams p;
+  p.nx = 32;
+  p.ny = 8;
+  p.nz = 32;
+  p.ppc = 8;
+  p.strategy = core::VectorStrategy::Guided;
+  auto sim = core::decks::make_reconnection(p);
+
+  std::printf(
+      "Harris sheet: %dx%dx%d cells, B0=%.2f, sheet half-width %.1f cells, "
+      "island seed %.0f%%\n",
+      p.nx, p.ny, p.nz, p.b0, p.sheet_half_width, 100 * p.perturbation);
+  std::printf("%8s %12s %14s %14s %14s\n", "step", "max|Bz|", "field E",
+              "electron KE", "ion KE");
+
+  const auto& g = sim.grid();
+  auto max_bz = [&] {
+    float m = 0;
+    for (int iz = 1; iz <= g.nz; ++iz)
+      for (int iy = 1; iy <= g.ny; ++iy)
+        for (int ix = 1; ix <= g.nx; ++ix)
+          m = std::max(m, std::abs(sim.fields().bz(g.voxel(ix, iy, iz))));
+    return m;
+  };
+
+  for (int burst = 0; burst <= steps; burst += 25) {
+    const auto e = sim.energies();
+    std::printf("%8lld %12.4e %14.6e %14.6e %14.6e\n",
+                static_cast<long long>(sim.step_count()), max_bz(), e.field,
+                e.species[0], e.species[1]);
+    if (burst < steps) sim.run(std::min(25, steps - burst));
+  }
+
+  std::printf("\nreconnection proxy: max|Bz| grew from the %.1e seed — the "
+              "island is %s\n",
+              static_cast<double>(p.perturbation * p.b0),
+              max_bz() > 2.0f * p.perturbation * p.b0 ? "growing" : "static");
+  return 0;
+}

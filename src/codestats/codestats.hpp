@@ -1,0 +1,49 @@
+// codestats/codestats.hpp
+//
+// Source-tree statistics for the Fig. 1 reproduction: VPIC 1.2 dedicates
+// 57% of its code to a per-ISA SIMD library while only 11% implements the
+// physics kernels. This module scans a source tree, classifies files into
+// the paper's categories (per-ISA SIMD support, portable-SIMD, kernels,
+// other), and counts effective lines (non-blank, non-comment) — applied to
+// this repository's own `v4` library it demonstrates the same duplication
+// structurally; the paper's measured VPIC 1.2 breakdown is embedded as
+// reference data.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vpic::codestats {
+
+struct FileStats {
+  std::string path;
+  std::string category;  // e.g. "simd:AVX2", "kernel", "other"
+  int code_lines = 0;
+  int comment_lines = 0;
+  int blank_lines = 0;
+};
+
+struct TreeStats {
+  std::vector<FileStats> files;
+  std::map<std::string, int> lines_by_category;
+  int total_code_lines = 0;
+
+  [[nodiscard]] double fraction(const std::string& category_prefix) const;
+};
+
+/// Count effective lines in one file (C/C++ comment rules).
+FileStats count_file(const std::filesystem::path& file);
+
+/// Classify a path within this repo into Fig.-1 categories.
+std::string classify(const std::filesystem::path& file);
+
+/// Scan a source tree (recursively, *.hpp/*.cpp).
+TreeStats scan_tree(const std::filesystem::path& root);
+
+/// VPIC 1.2's published breakdown (paper Fig. 1): ISA label -> percent of
+/// total codebase lines. "kernels" is the physics-kernel share.
+const std::map<std::string, double>& vpic12_reference_breakdown();
+
+}  // namespace vpic::codestats

@@ -1,0 +1,16 @@
+// core/core.hpp — umbrella header for the PIC engine.
+#pragma once
+
+#include "core/accumulator.hpp"
+#include "core/decks.hpp"
+#include "core/diagnostics.hpp"
+#include "core/domain.hpp"
+#include "core/field.hpp"
+#include "core/grid.hpp"
+#include "core/interpolator.hpp"
+#include "core/move_p.hpp"
+#include "core/particle.hpp"
+#include "core/push.hpp"
+#include "core/rng.hpp"
+#include "core/simulation.hpp"
+#include "core/sort_particles.hpp"

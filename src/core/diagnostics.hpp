@@ -1,0 +1,75 @@
+// core/diagnostics.hpp
+//
+// In-situ diagnostics for the PIC engine. The paper's Section 6 calls out
+// "advanced diagnostics that can be run in the timestep" as a payoff of
+// VPIC 2.0's performance headroom; this module provides the standard set:
+// energy history tracking, per-cell fluid moments (density, momentum),
+// particle momentum histograms, and field-plane extraction, all with CSV
+// export for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/field.hpp"
+#include "core/particle.hpp"
+#include "pk/pk.hpp"
+
+namespace vpic::core {
+
+/// Time series of the energy balance, appended once per sampled step.
+class EnergyHistory {
+ public:
+  void record(std::int64_t step, double field,
+              const std::vector<double>& species_ke);
+
+  [[nodiscard]] std::size_t size() const noexcept { return steps_.size(); }
+  [[nodiscard]] std::int64_t step(std::size_t i) const { return steps_[i]; }
+  [[nodiscard]] double field(std::size_t i) const { return field_[i]; }
+  [[nodiscard]] double kinetic(std::size_t i) const;
+  [[nodiscard]] double total(std::size_t i) const {
+    return field_[i] + kinetic(i);
+  }
+
+  /// Max |total(i) - total(0)| / total(0): the conservation figure of
+  /// merit the physics tests bound.
+  [[nodiscard]] double max_relative_drift() const;
+
+  /// "step,field,ke_0,...,ke_n,total" rows.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::int64_t> steps_;
+  std::vector<double> field_;
+  std::vector<std::vector<double>> species_;
+};
+
+/// Per-cell fluid moments of one species on the interior grid.
+struct Moments {
+  pk::View<float, 1> density;    // sum of weights per cell / cell volume
+  pk::View<float, 1> ux, uy, uz; // mean momentum per cell (0 where empty)
+};
+
+/// Gather the zeroth and first velocity moments of `sp` on `g`.
+Moments compute_moments(const Species& sp, const Grid& g);
+
+/// Histogram of one momentum component over [lo, hi) with `bins` bins;
+/// out-of-range particles land in the edge bins.
+struct Histogram {
+  float lo = 0, hi = 0;
+  std::vector<std::int64_t> counts;
+
+  [[nodiscard]] std::int64_t total() const;
+  [[nodiscard]] std::string to_csv() const;  // "bin_center,count" rows
+};
+
+enum class MomentumAxis : int { X = 0, Y = 1, Z = 2 };
+
+Histogram momentum_histogram(const Species& sp, MomentumAxis axis, float lo,
+                             float hi, int bins);
+
+/// Extract one z-plane of a field component as CSV ("ix,iy,value" rows).
+std::string field_plane_csv(const pk::View<float, 1>& component,
+                            const Grid& g, int iz);
+
+}  // namespace vpic::core

@@ -1,0 +1,138 @@
+#include "core/field.hpp"
+
+namespace vpic::core {
+
+namespace {
+
+/// Iterate interior cells (1..n inclusive per axis) in parallel over z.
+template <class F>
+void for_interior(const Grid& g, F&& f) {
+  pk::parallel_for(
+      pk::RangePolicy<>(1, g.nz + 1), [&, g](index_t iz) {
+        for (int iy = 1; iy <= g.ny; ++iy)
+          for (int ix = 1; ix <= g.nx; ++ix)
+            f(ix, iy, static_cast<int>(iz));
+      });
+}
+
+}  // namespace
+
+void FieldArray::advance_b_half() {
+  const Grid& g = grid;
+  const float px = 0.5f * g.cvac * g.dt / g.dx;
+  const float py = 0.5f * g.cvac * g.dt / g.dy;
+  const float pz = 0.5f * g.cvac * g.dt / g.dz;
+  for_interior(g, [&](int ix, int iy, int iz) {
+    const index_t v = g.voxel(ix, iy, iz);
+    const index_t vx = g.voxel(ix + 1, iy, iz);
+    const index_t vy = g.voxel(ix, iy + 1, iz);
+    const index_t vz = g.voxel(ix, iy, iz + 1);
+    // curl E on face centers
+    bx(v) -= py * (ez(vy) - ez(v)) - pz * (ey(vz) - ey(v));
+    by(v) -= pz * (ex(vz) - ex(v)) - px * (ez(vx) - ez(v));
+    bz(v) -= px * (ey(vx) - ey(v)) - py * (ex(vy) - ex(v));
+  });
+}
+
+void FieldArray::advance_e() {
+  const Grid& g = grid;
+  const float c2dt = g.cvac * g.cvac * g.dt;
+  const float px = c2dt / g.dx;
+  const float py = c2dt / g.dy;
+  const float pz = c2dt / g.dz;
+  const float jscale = g.dt;  // eps0 = 1
+  for_interior(g, [&](int ix, int iy, int iz) {
+    const index_t v = g.voxel(ix, iy, iz);
+    const index_t vmy = g.voxel(ix, iy - 1, iz);
+    const index_t vmz = g.voxel(ix, iy, iz - 1);
+    const index_t vmx = g.voxel(ix - 1, iy, iz);
+    ex(v) += py * (bz(v) - bz(vmy)) - pz * (by(v) - by(vmz)) - jscale * jx(v);
+    ey(v) += pz * (bx(v) - bx(vmz)) - px * (bz(v) - bz(vmx)) - jscale * jy(v);
+    ez(v) += px * (by(v) - by(vmx)) - py * (bx(v) - bx(vmy)) - jscale * jz(v);
+  });
+}
+
+void FieldArray::update_ghosts_periodic(std::uint8_t axis_mask) {
+  const Grid& g = grid;
+  auto copy_all = [&](pk::View<float, 1>& f) {
+    if (axis_mask & 0b001) {  // x ghosts
+      pk::parallel_for(pk::RangePolicy<>(0, g.sz()), [&, g](index_t iz) {
+        for (int iy = 0; iy < g.sy(); ++iy) {
+          f(g.voxel(0, iy, static_cast<int>(iz))) =
+              f(g.voxel(g.nx, iy, static_cast<int>(iz)));
+          f(g.voxel(g.nx + 1, iy, static_cast<int>(iz))) =
+              f(g.voxel(1, iy, static_cast<int>(iz)));
+        }
+      });
+    }
+    if (axis_mask & 0b010) {  // y ghosts
+      pk::parallel_for(pk::RangePolicy<>(0, g.sz()), [&, g](index_t iz) {
+        for (int ix = 0; ix < g.sx(); ++ix) {
+          f(g.voxel(ix, 0, static_cast<int>(iz))) =
+              f(g.voxel(ix, g.ny, static_cast<int>(iz)));
+          f(g.voxel(ix, g.ny + 1, static_cast<int>(iz))) =
+              f(g.voxel(ix, 1, static_cast<int>(iz)));
+        }
+      });
+    }
+    if (axis_mask & 0b100) {  // z ghosts
+      pk::parallel_for(pk::RangePolicy<>(0, g.sy()), [&, g](index_t iy) {
+        for (int ix = 0; ix < g.sx(); ++ix) {
+          f(g.voxel(ix, static_cast<int>(iy), 0)) =
+              f(g.voxel(ix, static_cast<int>(iy), g.nz));
+          f(g.voxel(ix, static_cast<int>(iy), g.nz + 1)) =
+              f(g.voxel(ix, static_cast<int>(iy), 1));
+        }
+      });
+    }
+  };
+  copy_all(ex);
+  copy_all(ey);
+  copy_all(ez);
+  copy_all(bx);
+  copy_all(by);
+  copy_all(bz);
+}
+
+void FieldArray::pack_z_plane(int iz, float* buf) const {
+  const Grid& g = grid;
+  const pk::View<float, 1>* comps[6] = {&ex, &ey, &ez, &bx, &by, &bz};
+  std::size_t k = 0;
+  for (const auto* c : comps)
+    for (int iy = 0; iy < g.sy(); ++iy)
+      for (int ix = 0; ix < g.sx(); ++ix) buf[k++] = (*c)(g.voxel(ix, iy, iz));
+}
+
+void FieldArray::unpack_z_plane(int iz, const float* buf) {
+  const Grid& g = grid;
+  pk::View<float, 1>* comps[6] = {&ex, &ey, &ez, &bx, &by, &bz};
+  std::size_t k = 0;
+  for (auto* c : comps)
+    for (int iy = 0; iy < g.sy(); ++iy)
+      for (int ix = 0; ix < g.sx(); ++ix) (*c)(g.voxel(ix, iy, iz)) = buf[k++];
+}
+
+double FieldArray::field_energy() const {
+  const Grid& g = grid;
+  const double dv = static_cast<double>(g.dx) * g.dy * g.dz;
+  double total = 0;
+  pk::parallel_reduce(
+      pk::RangePolicy<>(1, g.nz + 1),
+      [&, g](index_t iz, double& acc) {
+        for (int iy = 1; iy <= g.ny; ++iy)
+          for (int ix = 1; ix <= g.nx; ++ix) {
+            const index_t v = g.voxel(ix, iy, static_cast<int>(iz));
+            const double e2 = static_cast<double>(ex(v)) * ex(v) +
+                              static_cast<double>(ey(v)) * ey(v) +
+                              static_cast<double>(ez(v)) * ez(v);
+            const double b2 = static_cast<double>(bx(v)) * bx(v) +
+                              static_cast<double>(by(v)) * by(v) +
+                              static_cast<double>(bz(v)) * bz(v);
+            acc += 0.5 * (e2 + b2);
+          }
+      },
+      total);
+  return total * dv;
+}
+
+}  // namespace vpic::core

@@ -1,0 +1,79 @@
+// core/grid.hpp
+//
+// Yee grid geometry and voxel indexing for the PIC engine. Mirrors VPIC's
+// conventions: an (nx, ny, nz) block of interior cells surrounded by one
+// ghost layer; particles store a voxel index plus cell-local offsets in
+// [-1, 1]; fields live on the staggered Yee mesh. Units are normalized
+// (c = 1, eps0 = 1); dt and cell sizes are in those units.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "pk/pk.hpp"
+
+namespace vpic::core {
+
+using pk::index_t;
+
+struct Grid {
+  int nx = 0, ny = 0, nz = 0;  // interior cells
+  float dx = 1, dy = 1, dz = 1;
+  float dt = 0;
+  float x0 = 0, y0 = 0, z0 = 0;  // local-domain origin (for decomposition)
+  float cvac = 1.0f;             // speed of light
+
+  Grid() = default;
+  Grid(int nx_, int ny_, int nz_, float lx, float ly, float lz, float dt_)
+      : nx(nx_),
+        ny(ny_),
+        nz(nz_),
+        dx(lx / static_cast<float>(nx_)),
+        dy(ly / static_cast<float>(ny_)),
+        dz(lz / static_cast<float>(nz_)),
+        dt(dt_) {
+    assert(nx_ > 0 && ny_ > 0 && nz_ > 0);
+  }
+
+  /// Default timestep: a fraction of the 3-D Courant limit.
+  static float courant_dt(float dx, float dy, float dz, float frac = 0.95f) {
+    return frac / std::sqrt(1.0f / (dx * dx) + 1.0f / (dy * dy) +
+                            1.0f / (dz * dz));
+  }
+
+  // Storage extents including the one-cell ghost shell.
+  [[nodiscard]] int sx() const noexcept { return nx + 2; }
+  [[nodiscard]] int sy() const noexcept { return ny + 2; }
+  [[nodiscard]] int sz() const noexcept { return nz + 2; }
+  [[nodiscard]] index_t nv() const noexcept {
+    return static_cast<index_t>(sx()) * sy() * sz();
+  }
+  [[nodiscard]] index_t interior_cells() const noexcept {
+    return static_cast<index_t>(nx) * ny * nz;
+  }
+
+  /// Voxel index of cell (ix, iy, iz); interior cells are 1..n inclusive.
+  [[nodiscard]] index_t voxel(int ix, int iy, int iz) const noexcept {
+    return (static_cast<index_t>(iz) * sy() + iy) * sx() + ix;
+  }
+  void cell_of(index_t v, int& ix, int& iy, int& iz) const noexcept {
+    ix = static_cast<int>(v % sx());
+    iy = static_cast<int>((v / sx()) % sy());
+    iz = static_cast<int>(v / (static_cast<index_t>(sx()) * sy()));
+  }
+  [[nodiscard]] bool is_interior(index_t v) const noexcept {
+    int ix, iy, iz;
+    cell_of(v, ix, iy, iz);
+    return ix >= 1 && ix <= nx && iy >= 1 && iy <= ny && iz >= 1 && iz <= nz;
+  }
+
+  /// Periodic wrap of an interior cell coordinate on this (local) grid.
+  [[nodiscard]] static int wrap(int i, int n) noexcept {
+    if (i < 1) return i + n;
+    if (i > n) return i - n;
+    return i;
+  }
+};
+
+}  // namespace vpic::core

@@ -1,0 +1,73 @@
+#include "core/interpolator.hpp"
+
+namespace vpic::core {
+
+void InterpolatorArray::load(const FieldArray& f) {
+  const Grid& g = grid;
+  const float fourth = 0.25f;
+  const float half = 0.5f;
+  pk::parallel_for(pk::RangePolicy<>(1, g.nz + 1), [&, g](index_t izz) {
+    const int iz = static_cast<int>(izz);
+    for (int iy = 1; iy <= g.ny; ++iy) {
+      for (int ix = 1; ix <= g.nx; ++ix) {
+        const index_t v = g.voxel(ix, iy, iz);
+        Interpolator& ip = data(v);
+
+        // Ex: values on the four x-edges of the cell, bilinear in (y, z).
+        {
+          const float e00 = f.ex(g.voxel(ix, iy, iz));
+          const float e10 = f.ex(g.voxel(ix, iy + 1, iz));
+          const float e01 = f.ex(g.voxel(ix, iy, iz + 1));
+          const float e11 = f.ex(g.voxel(ix, iy + 1, iz + 1));
+          ip.ex = fourth * (e00 + e10 + e01 + e11);
+          ip.dexdy = fourth * ((e10 - e00) + (e11 - e01));
+          ip.dexdz = fourth * ((e01 - e00) + (e11 - e10));
+          ip.d2exdydz = fourth * ((e00 - e10) + (e11 - e01));
+        }
+        // Ey: four y-edges, bilinear in (z, x).
+        {
+          const float e00 = f.ey(g.voxel(ix, iy, iz));
+          const float e10 = f.ey(g.voxel(ix, iy, iz + 1));      // +z
+          const float e01 = f.ey(g.voxel(ix + 1, iy, iz));      // +x
+          const float e11 = f.ey(g.voxel(ix + 1, iy, iz + 1));  // +z+x
+          ip.ey = fourth * (e00 + e10 + e01 + e11);
+          ip.deydz = fourth * ((e10 - e00) + (e11 - e01));
+          ip.deydx = fourth * ((e01 - e00) + (e11 - e10));
+          ip.d2eydzdx = fourth * ((e00 - e10) + (e11 - e01));
+        }
+        // Ez: four z-edges, bilinear in (x, y).
+        {
+          const float e00 = f.ez(g.voxel(ix, iy, iz));
+          const float e10 = f.ez(g.voxel(ix + 1, iy, iz));      // +x
+          const float e01 = f.ez(g.voxel(ix, iy + 1, iz));      // +y
+          const float e11 = f.ez(g.voxel(ix + 1, iy + 1, iz));  // +x+y
+          ip.ez = fourth * (e00 + e10 + e01 + e11);
+          ip.dezdx = fourth * ((e10 - e00) + (e11 - e01));
+          ip.dezdy = fourth * ((e01 - e00) + (e11 - e10));
+          ip.d2ezdxdy = fourth * ((e00 - e10) + (e11 - e01));
+        }
+        // B: two opposing faces per component, linear along the normal.
+        {
+          const float b0 = f.bx(g.voxel(ix, iy, iz));
+          const float b1 = f.bx(g.voxel(ix + 1, iy, iz));
+          ip.cbx = half * (b0 + b1);
+          ip.dcbxdx = half * (b1 - b0);
+        }
+        {
+          const float b0 = f.by(g.voxel(ix, iy, iz));
+          const float b1 = f.by(g.voxel(ix, iy + 1, iz));
+          ip.cby = half * (b0 + b1);
+          ip.dcbydy = half * (b1 - b0);
+        }
+        {
+          const float b0 = f.bz(g.voxel(ix, iy, iz));
+          const float b1 = f.bz(g.voxel(ix, iy, iz + 1));
+          ip.cbz = half * (b0 + b1);
+          ip.dcbzdz = half * (b1 - b0);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace vpic::core

@@ -1,0 +1,63 @@
+// core/interpolator.hpp
+//
+// VPIC-style interpolator array: per-cell field-interpolation coefficients
+// rebuilt from the Yee fields once per step so the particle push reads one
+// 18-float record per particle instead of walking the staggered mesh. The
+// record layout (ex/dexdy/dexdz/d2exdydz, ey..., ez..., cbx/dcbxdx, cby...,
+// cbz...) matches VPIC's `interpolator_t` — it is the 72-byte gather record
+// whose access pattern the sorting study (Figs. 6-8) controls.
+//
+// Within cell-local coordinates (dx, dy, dz) in [-1, 1]:
+//   Ex = ex + dy*dexdy + dz*dexdz + dy*dz*d2exdydz   (Ex lives on x-edges)
+//   Bx = cbx + dx*dcbxdx                             (Bx lives on x-faces)
+// and cyclic permutations.
+#pragma once
+
+#include "core/field.hpp"
+#include "core/grid.hpp"
+
+namespace vpic::core {
+
+struct Interpolator {
+  float ex, dexdy, dexdz, d2exdydz;
+  float ey, deydz, deydx, d2eydzdx;
+  float ez, dezdx, dezdy, d2ezdxdy;
+  float cbx, dcbxdx;
+  float cby, dcbydy;
+  float cbz, dcbzdz;
+};
+static_assert(sizeof(Interpolator) == 18 * sizeof(float));
+
+struct InterpolatorArray {
+  Grid grid;
+  pk::View<Interpolator, 1> data;
+
+  explicit InterpolatorArray(const Grid& g)
+      : grid(g), data("interpolator", g.nv()) {}
+
+  const Interpolator& operator()(index_t v) const { return data(v); }
+
+  /// Rebuild all interior-cell coefficients from the fields (VPIC
+  /// load_interpolator_array).
+  void load(const FieldArray& f);
+};
+
+/// Evaluate the interpolated fields at a cell-local position. Used by the
+/// scalar push and by tests (the vectorized pushes inline the same math).
+struct FieldsAtPoint {
+  float ex, ey, ez, bx, by, bz;
+};
+
+inline FieldsAtPoint interpolate(const Interpolator& ip, float dx, float dy,
+                                 float dz) {
+  FieldsAtPoint f;
+  f.ex = ip.ex + dy * ip.dexdy + dz * (ip.dexdz + dy * ip.d2exdydz);
+  f.ey = ip.ey + dz * ip.deydz + dx * (ip.deydx + dz * ip.d2eydzdx);
+  f.ez = ip.ez + dx * ip.dezdx + dy * (ip.dezdy + dx * ip.d2ezdxdy);
+  f.bx = ip.cbx + dx * ip.dcbxdx;
+  f.by = ip.cby + dy * ip.dcbydy;
+  f.bz = ip.cbz + dz * ip.dcbzdz;
+  return f;
+}
+
+}  // namespace vpic::core

@@ -1,0 +1,68 @@
+// core/particle.hpp
+//
+// Particle storage. VPIC keeps particles as 32-byte AoS records
+// (dx, dy, dz, voxel, ux, uy, uz, w); this layout is what the transposing
+// loads of the manual/ad hoc vectorization strategies operate on, and the
+// record the streaming-traffic model charges 32 B for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/grid.hpp"
+#include "pk/pk.hpp"
+
+namespace vpic::core {
+
+struct Particle {
+  float dx, dy, dz;   // cell-local position in [-1, 1]
+  std::int32_t i;     // voxel index
+  float ux, uy, uz;   // normalized momentum (gamma * v / c)
+  float w;            // statistical weight
+};
+static_assert(sizeof(Particle) == 32);
+
+struct Species {
+  std::string name;
+  float q = -1.0f;  // charge (electron = -1 in normalized units)
+  float m = 1.0f;   // mass
+  pk::View<Particle, 1> p;
+  index_t np = 0;  // live particle count (p may be larger)
+
+  Species() = default;
+  Species(std::string name_, float q_, float m_, index_t capacity)
+      : name(std::move(name_)), q(q_), m(m_), p("particles_" + name, capacity) {}
+
+  [[nodiscard]] index_t capacity() const noexcept { return p.size(); }
+
+  /// Kinetic energy sum( w * m c^2 (gamma - 1) ).
+  [[nodiscard]] double kinetic_energy() const {
+    double total = 0;
+    const auto& pp = p;
+    const float mass = m;
+    pk::parallel_reduce(
+        pk::RangePolicy<>(np),
+        [&pp, mass](index_t idx, double& acc) {
+          const Particle& part = pp(idx);
+          const double u2 = static_cast<double>(part.ux) * part.ux +
+                            static_cast<double>(part.uy) * part.uy +
+                            static_cast<double>(part.uz) * part.uz;
+          const double gamma = std::sqrt(1.0 + u2);
+          acc += static_cast<double>(part.w) * mass * (gamma - 1.0);
+        },
+        total);
+    return total;
+  }
+
+  /// Extract the voxel indices (the sorting keys) of live particles.
+  [[nodiscard]] pk::View<std::uint32_t, 1> cell_keys() const {
+    pk::View<std::uint32_t, 1> keys("cell_keys", np);
+    const auto& pp = p;
+    pk::parallel_for(np, [&](index_t idx) {
+      keys(idx) = static_cast<std::uint32_t>(pp(idx).i);
+    });
+    return keys;
+  }
+};
+
+}  // namespace vpic::core

@@ -1,0 +1,386 @@
+// core/push.cpp — the four vectorization-strategy implementations of the
+// particle push. See push.hpp for the strategy taxonomy.
+#include "core/push.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/move_p.hpp"
+#include "simd/simd.hpp"
+#include "v4/v4.hpp"
+
+namespace vpic::core {
+
+namespace {
+
+struct PushConsts {
+  float qdt2m;   // q dt / 2m: half-step acceleration factor
+  float cdtdx2;  // 2 c dt / dx: velocity -> cell-local displacement
+  float cdtdy2;
+  float cdtdz2;
+  float qw_sign;  // charge (per-particle weight multiplies in)
+};
+
+PushConsts make_consts(const Species& sp, const Grid& g) {
+  PushConsts c;
+  c.qdt2m = 0.5f * sp.q * g.dt / sp.m;
+  c.cdtdx2 = 2.0f * g.cvac * g.dt / g.dx;
+  c.cdtdy2 = 2.0f * g.cvac * g.dt / g.dy;
+  c.cdtdz2 = 2.0f * g.cvac * g.dt / g.dz;
+  c.qw_sign = sp.q;
+  return c;
+}
+
+/// Complete a particle's move, honoring the boundary options: periodic
+/// wrap by default, exit-collection for rank-decomposed axes.
+inline void finish_move(Particle& p, float dispx, float dispy, float dispz,
+                        float qw, AccumulatorArray& acc, const Grid& g,
+                        const MoverOptions& opts) {
+  if (opts.exits == nullptr) {
+    move_p(p, dispx, dispy, dispz, qw, acc, g, opts.periodic_mask);
+    return;
+  }
+  float rem[3] = {0, 0, 0};
+  const MoveResult r = move_p(p, dispx, dispy, dispz, qw, acc, g,
+                              opts.periodic_mask, rem);
+  if (r == MoveResult::Exited) {
+    ExitRecord rec;
+    rec.p = p;
+    rec.rem[0] = rem[0];
+    rec.rem[1] = rem[1];
+    rec.rem[2] = rem[2];
+    if (opts.exits_mutex) {
+      std::lock_guard lk(*opts.exits_mutex);
+      opts.exits->push_back(rec);
+    } else {
+      opts.exits->push_back(rec);
+    }
+    p.i = -1;  // tombstone; compact_exited() removes it
+  }
+}
+
+/// Scalar Boris rotation + half-accelerations. Returns updated momentum.
+inline void boris(float& ux, float& uy, float& uz, float hax, float hay,
+                  float haz, float cbx, float cby, float cbz, float qdt2m) {
+  ux += hax;
+  uy += hay;
+  uz += haz;
+  const float gmi = 1.0f / std::sqrt(1.0f + ux * ux + uy * uy + uz * uz);
+  const float tx = qdt2m * cbx * gmi;
+  const float ty = qdt2m * cby * gmi;
+  const float tz = qdt2m * cbz * gmi;
+  const float t2 = tx * tx + ty * ty + tz * tz;
+  const float sfac = 2.0f / (1.0f + t2);
+  const float sx = tx * sfac, sy = ty * sfac, sz = tz * sfac;
+  const float wx = ux + (uy * tz - uz * ty);
+  const float wy = uy + (uz * tx - ux * tz);
+  const float wz = uz + (ux * ty - uy * tx);
+  ux += wy * sz - wz * sy;
+  uy += wz * sx - wx * sz;
+  uz += wx * sy - wy * sx;
+  ux += hax;
+  uy += hay;
+  uz += haz;
+}
+
+// ----------------------------------------------------------------------
+// Auto: one loop over particles, written the portable way, vectorization
+// left to the compiler (it will not vectorize through move_p).
+// ----------------------------------------------------------------------
+void push_auto(Species& sp, const InterpolatorArray& interp,
+               AccumulatorArray& acc, const Grid& g,
+               const MoverOptions& opts) {
+  const PushConsts c = make_consts(sp, g);
+  auto& pp = sp.p;
+  pk::parallel_for(sp.np, [&](index_t n) {
+    Particle p = pp(n);
+    const Interpolator& ip = interp(p.i);
+    const FieldsAtPoint f = interpolate(ip, p.dx, p.dy, p.dz);
+    boris(p.ux, p.uy, p.uz, c.qdt2m * f.ex, c.qdt2m * f.ey, c.qdt2m * f.ez,
+          f.bx, f.by, f.bz, c.qdt2m);
+    const float rg =
+        1.0f / std::sqrt(1.0f + p.ux * p.ux + p.uy * p.uy + p.uz * p.uz);
+    const float dispx = c.cdtdx2 * p.ux * rg;
+    const float dispy = c.cdtdy2 * p.uy * rg;
+    const float dispz = c.cdtdz2 * p.uz * rg;
+    pp(n) = p;
+    finish_move(pp(n), dispx, dispy, dispz, c.qw_sign * p.w, acc, g, opts);
+  });
+}
+
+// ----------------------------------------------------------------------
+// Guided: kernel split. Phase 1 (forced-SIMD): gather + Boris + new
+// momenta + displacements into block-local arrays. Phase 2 (scalar): the
+// branchy mover. The split is the paper's "separate difficult-to-
+// vectorize" refactoring; #pragma omp simd is the guided pragma.
+// ----------------------------------------------------------------------
+void push_guided(Species& sp, const InterpolatorArray& interp,
+                 AccumulatorArray& acc, const Grid& g,
+                 const MoverOptions& opts) {
+  constexpr index_t kBlock = 256;
+  const PushConsts c = make_consts(sp, g);
+  auto& pp = sp.p;
+  const index_t nblocks = (sp.np + kBlock - 1) / kBlock;
+  pk::parallel_for(nblocks, [&](index_t b) {
+    const index_t n0 = b * kBlock;
+    const index_t n1 = std::min(sp.np, n0 + kBlock);
+    const int cnt = static_cast<int>(n1 - n0);
+    float dispx[kBlock], dispy[kBlock], dispz[kBlock];
+    float nux[kBlock], nuy[kBlock], nuz[kBlock];
+
+    PK_OMP_SIMD
+    for (int k = 0; k < cnt; ++k) {
+      const Particle& p = pp(n0 + k);
+      const Interpolator& ip = interp(p.i);
+      const float ex =
+          ip.ex + p.dy * ip.dexdy + p.dz * (ip.dexdz + p.dy * ip.d2exdydz);
+      const float ey =
+          ip.ey + p.dz * ip.deydz + p.dx * (ip.deydx + p.dz * ip.d2eydzdx);
+      const float ez =
+          ip.ez + p.dx * ip.dezdx + p.dy * (ip.dezdy + p.dx * ip.d2ezdxdy);
+      const float cbx = ip.cbx + p.dx * ip.dcbxdx;
+      const float cby = ip.cby + p.dy * ip.dcbydy;
+      const float cbz = ip.cbz + p.dz * ip.dcbzdz;
+      float ux = p.ux, uy = p.uy, uz = p.uz;
+      boris(ux, uy, uz, c.qdt2m * ex, c.qdt2m * ey, c.qdt2m * ez, cbx, cby,
+            cbz, c.qdt2m);
+      const float rg = 1.0f / std::sqrt(1.0f + ux * ux + uy * uy + uz * uz);
+      nux[k] = ux;
+      nuy[k] = uy;
+      nuz[k] = uz;
+      dispx[k] = c.cdtdx2 * ux * rg;
+      dispy[k] = c.cdtdy2 * uy * rg;
+      dispz[k] = c.cdtdz2 * uz * rg;
+    }
+    for (int k = 0; k < cnt; ++k) {
+      Particle& p = pp(n0 + k);
+      p.ux = nux[k];
+      p.uy = nuy[k];
+      p.uz = nuz[k];
+      finish_move(p, dispx[k], dispy[k], dispz[k], c.qw_sign * p.w, acc, g,
+                  opts);
+    }
+  });
+}
+
+// ----------------------------------------------------------------------
+// Manual: portable SIMD library. 8-lane blocks (the particle record is 8
+// floats, so an 8x8 register transpose converts AoS to SoA), per-lane
+// gathers for the interpolator, vector Boris, scalar mover.
+// ----------------------------------------------------------------------
+void push_manual(Species& sp, const InterpolatorArray& interp,
+                 AccumulatorArray& acc, const Grid& g,
+                 const MoverOptions& opts) {
+  constexpr int W = 8;
+  using F = simd::simd<float, W>;
+  const PushConsts c = make_consts(sp, g);
+  auto& pp = sp.p;
+  const index_t nfull = sp.np / W;
+
+  pk::parallel_for(nfull, [&](index_t b) {
+    const index_t n0 = b * W;
+    // AoS -> SoA in registers: 8 particles x 8 fields.
+    auto rows = simd::load_transpose<float, W>(
+        reinterpret_cast<const float*>(&pp(n0)), 8);
+    F dx = rows[0], dy = rows[1], dz = rows[2];
+    F ux = rows[4], uy = rows[5], uz = rows[6];
+    // Lane l's voxel (bit pattern lives in rows[3]).
+    std::int32_t cell[W];
+    {
+      alignas(64) float tmp[W];
+      rows[3].store(tmp);
+      std::memcpy(cell, tmp, sizeof(cell));
+    }
+    // Interpolator gathers, one field at a time.
+    auto gf = [&](auto member) {
+      return F([&](int l) { return interp(cell[l]).*member; });
+    };
+    const F ex = gf(&Interpolator::ex) + dy * gf(&Interpolator::dexdy) +
+                 dz * (gf(&Interpolator::dexdz) +
+                       dy * gf(&Interpolator::d2exdydz));
+    const F ey = gf(&Interpolator::ey) + dz * gf(&Interpolator::deydz) +
+                 dx * (gf(&Interpolator::deydx) +
+                       dz * gf(&Interpolator::d2eydzdx));
+    const F ez = gf(&Interpolator::ez) + dx * gf(&Interpolator::dezdx) +
+                 dy * (gf(&Interpolator::dezdy) +
+                       dx * gf(&Interpolator::d2ezdxdy));
+    const F cbx = gf(&Interpolator::cbx) + dx * gf(&Interpolator::dcbxdx);
+    const F cby = gf(&Interpolator::cby) + dy * gf(&Interpolator::dcbydy);
+    const F cbz = gf(&Interpolator::cbz) + dz * gf(&Interpolator::dcbzdz);
+
+    const F qdt2m(c.qdt2m);
+    const F hax = qdt2m * ex, hay = qdt2m * ey, haz = qdt2m * ez;
+    ux += hax;
+    uy += hay;
+    uz += haz;
+    const F one(1.0f);
+    const F gmi = simd::rsqrt(one + ux * ux + uy * uy + uz * uz);
+    const F tx = qdt2m * cbx * gmi;
+    const F ty = qdt2m * cby * gmi;
+    const F tz = qdt2m * cbz * gmi;
+    const F sfac = F(2.0f) / (one + tx * tx + ty * ty + tz * tz);
+    const F wx = ux + (uy * tz - uz * ty);
+    const F wy = uy + (uz * tx - ux * tz);
+    const F wz = uz + (ux * ty - uy * tx);
+    ux += (wy * tz - wz * ty) * sfac + hax;
+    uy += (wz * tx - wx * tz) * sfac + hay;
+    uz += (wx * ty - wy * tx) * sfac + haz;
+
+    const F rg = simd::rsqrt(one + ux * ux + uy * uy + uz * uz);
+    const F dispx = F(c.cdtdx2) * ux * rg;
+    const F dispy = F(c.cdtdy2) * uy * rg;
+    const F dispz = F(c.cdtdz2) * uz * rg;
+
+    for (int l = 0; l < W; ++l) {
+      Particle& p = pp(n0 + l);
+      p.ux = ux[l];
+      p.uy = uy[l];
+      p.uz = uz[l];
+      finish_move(p, dispx[l], dispy[l], dispz[l], c.qw_sign * p.w, acc, g,
+                  opts);
+    }
+  });
+
+  // Scalar tail.
+  for (index_t n = nfull * W; n < sp.np; ++n) {
+    Particle& p = pp(n);
+    const Interpolator& ip = interp(p.i);
+    const FieldsAtPoint f = interpolate(ip, p.dx, p.dy, p.dz);
+    boris(p.ux, p.uy, p.uz, c.qdt2m * f.ex, c.qdt2m * f.ey, c.qdt2m * f.ez,
+          f.bx, f.by, f.bz, c.qdt2m);
+    const float rg =
+        1.0f / std::sqrt(1.0f + p.ux * p.ux + p.uy * p.uy + p.uz * p.uz);
+    finish_move(p, c.cdtdx2 * p.ux * rg, c.cdtdy2 * p.uy * rg,
+                c.cdtdz2 * p.uz * rg, c.qw_sign * p.w, acc, g, opts);
+  }
+}
+
+// ----------------------------------------------------------------------
+// AdHoc: VPIC 1.2 style — the per-ISA v4 intrinsics library, 4-particle
+// blocks, two 4x4 register transposes per load.
+// ----------------------------------------------------------------------
+void push_adhoc(Species& sp, const InterpolatorArray& interp,
+                AccumulatorArray& acc, const Grid& g,
+                const MoverOptions& opts) {
+  using V = v4::vfloat4;
+  constexpr int W = 4;
+  const PushConsts c = make_consts(sp, g);
+  auto& pp = sp.p;
+  const index_t nfull = sp.np / W;
+
+  pk::parallel_for(nfull, [&](index_t b) {
+    const index_t n0 = b * W;
+    const float* base = reinterpret_cast<const float*>(&pp(n0));
+    // Transpose positions (fields 0-3) and momenta+weight (fields 4-7).
+    V dx = V::load(base + 0), dy = V::load(base + 8), dz = V::load(base + 16),
+      ci = V::load(base + 24);
+    V::transpose(dx, dy, dz, ci);
+    V ux = V::load(base + 4), uy = V::load(base + 12), uz = V::load(base + 20),
+      w = V::load(base + 28);
+    V::transpose(ux, uy, uz, w);
+
+    std::int32_t cell[W];
+    {
+      float tmp[W];
+      ci.store(tmp);
+      std::memcpy(cell, tmp, sizeof(cell));
+    }
+    auto gf = [&](auto member) {
+      V r;
+      for (int l = 0; l < W; ++l) r.set(l, interp(cell[l]).*member);
+      return r;
+    };
+    const V ex = gf(&Interpolator::ex) + dy * gf(&Interpolator::dexdy) +
+                 dz * (gf(&Interpolator::dexdz) +
+                       dy * gf(&Interpolator::d2exdydz));
+    const V ey = gf(&Interpolator::ey) + dz * gf(&Interpolator::deydz) +
+                 dx * (gf(&Interpolator::deydx) +
+                       dz * gf(&Interpolator::d2eydzdx));
+    const V ez = gf(&Interpolator::ez) + dx * gf(&Interpolator::dezdx) +
+                 dy * (gf(&Interpolator::dezdy) +
+                       dx * gf(&Interpolator::d2ezdxdy));
+    const V cbx = gf(&Interpolator::cbx) + dx * gf(&Interpolator::dcbxdx);
+    const V cby = gf(&Interpolator::cby) + dy * gf(&Interpolator::dcbydy);
+    const V cbz = gf(&Interpolator::cbz) + dz * gf(&Interpolator::dcbzdz);
+
+    const V qdt2m(c.qdt2m);
+    const V hax = qdt2m * ex, hay = qdt2m * ey, haz = qdt2m * ez;
+    ux = ux + hax;
+    uy = uy + hay;
+    uz = uz + haz;
+    const V one(1.0f);
+    const V gmi = V::rsqrt(one + ux * ux + uy * uy + uz * uz);
+    const V tx = qdt2m * cbx * gmi;
+    const V ty = qdt2m * cby * gmi;
+    const V tz = qdt2m * cbz * gmi;
+    const V sfac = V(2.0f) / (one + tx * tx + ty * ty + tz * tz);
+    const V wx = ux + (uy * tz - uz * ty);
+    const V wy = uy + (uz * tx - ux * tz);
+    const V wz = uz + (ux * ty - uy * tx);
+    ux = ux + (wy * tz - wz * ty) * sfac + hax;
+    uy = uy + (wz * tx - wx * tz) * sfac + hay;
+    uz = uz + (wx * ty - wy * tx) * sfac + haz;
+
+    const V rg = V::rsqrt(one + ux * ux + uy * uy + uz * uz);
+    const V dispx = V(c.cdtdx2) * ux * rg;
+    const V dispy = V(c.cdtdy2) * uy * rg;
+    const V dispz = V(c.cdtdz2) * uz * rg;
+
+    for (int l = 0; l < W; ++l) {
+      Particle& p = pp(n0 + l);
+      p.ux = ux[l];
+      p.uy = uy[l];
+      p.uz = uz[l];
+      finish_move(p, dispx[l], dispy[l], dispz[l], c.qw_sign * p.w, acc, g,
+                  opts);
+    }
+  });
+
+  for (index_t n = nfull * W; n < sp.np; ++n) {
+    Particle& p = pp(n);
+    const Interpolator& ip = interp(p.i);
+    const FieldsAtPoint f = interpolate(ip, p.dx, p.dy, p.dz);
+    boris(p.ux, p.uy, p.uz, c.qdt2m * f.ex, c.qdt2m * f.ey, c.qdt2m * f.ez,
+          f.bx, f.by, f.bz, c.qdt2m);
+    const float rg =
+        1.0f / std::sqrt(1.0f + p.ux * p.ux + p.uy * p.uy + p.uz * p.uz);
+    finish_move(p, c.cdtdx2 * p.ux * rg, c.cdtdy2 * p.uy * rg,
+                c.cdtdz2 * p.uz * rg, c.qw_sign * p.w, acc, g, opts);
+  }
+}
+
+}  // namespace
+
+void advance_species(Species& sp, const InterpolatorArray& interp,
+                     AccumulatorArray& acc, const Grid& g,
+                     VectorStrategy strategy, const MoverOptions& opts) {
+  switch (strategy) {
+    case VectorStrategy::Auto:
+      push_auto(sp, interp, acc, g, opts);
+      break;
+    case VectorStrategy::Guided:
+      push_guided(sp, interp, acc, g, opts);
+      break;
+    case VectorStrategy::Manual:
+      push_manual(sp, interp, acc, g, opts);
+      break;
+    case VectorStrategy::AdHoc:
+      push_adhoc(sp, interp, acc, g, opts);
+      break;
+  }
+}
+
+index_t compact_exited(Species& sp) {
+  index_t out = 0;
+  for (index_t n = 0; n < sp.np; ++n) {
+    if (sp.p(n).i >= 0) {
+      if (out != n) sp.p(out) = sp.p(n);
+      ++out;
+    }
+  }
+  const index_t removed = sp.np - out;
+  sp.np = out;
+  return removed;
+}
+
+}  // namespace vpic::core

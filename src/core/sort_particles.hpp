@@ -1,0 +1,55 @@
+// core/sort_particles.hpp
+//
+// Bridges the PIC engine to the hardware-targeted sorting library
+// (Section 3.2): reorders a species' particle array by cell key in the
+// order a given SortOrder prescribes. VPIC re-sorts every N steps; the
+// Simulation driver calls this on its sort interval.
+#pragma once
+
+#include "core/particle.hpp"
+#include "sort/order_checks.hpp"
+#include "sort/radix.hpp"
+#include "sort/sorters.hpp"
+
+namespace vpic::core {
+
+/// Reorder live particles according to `order`. `tile_sz` feeds the
+/// tiled-strided sort (paper: #CPU threads on CPUs, 3x core count on
+/// GPUs); ignored for other orders.
+inline void sort_particles(Species& sp, sort::SortOrder order,
+                           std::uint32_t tile_sz = 0,
+                           std::uint64_t seed = 9001) {
+  if (sp.np <= 1) return;
+  pk::View<std::uint32_t, 1> keys = sp.cell_keys();
+
+  // Build the permutation the chosen order induces, then apply it to the
+  // 32-byte particle records in one pass.
+  pk::View<pk::index_t, 1> perm("sort_perm", sp.np);
+  pk::parallel_for(sp.np, [&](pk::index_t i) { perm(i) = i; });
+
+  switch (order) {
+    case sort::SortOrder::Random:
+      sort::random_shuffle(keys, perm, seed);
+      break;
+    case sort::SortOrder::Standard:
+      sort::sort_by_key(keys, perm);
+      break;
+    case sort::SortOrder::Strided: {
+      pk::View<std::uint32_t, 1> nk = sort::make_strided_keys(keys);
+      sort::sort_by_key(nk, perm);
+      break;
+    }
+    case sort::SortOrder::TiledStrided: {
+      pk::View<std::uint32_t, 1> nk =
+          sort::make_tiled_strided_keys(keys, tile_sz);
+      sort::sort_by_key(nk, perm);
+      break;
+    }
+  }
+
+  pk::View<Particle, 1> reordered("particles_sorted", sp.np);
+  pk::parallel_for(sp.np, [&](pk::index_t i) { reordered(i) = sp.p(perm(i)); });
+  pk::parallel_for(sp.np, [&](pk::index_t i) { sp.p(i) = reordered(i); });
+}
+
+}  // namespace vpic::core

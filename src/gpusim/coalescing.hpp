@@ -1,0 +1,167 @@
+// gpusim/coalescing.hpp
+//
+// Warp-level access-stream analysis. Given the index (key) array a kernel
+// uses — the *actual* array produced by a sorting algorithm — this computes,
+// per warp of `warp_size` consecutive threads:
+//
+//   * transactions: distinct memory lines touched (the GPU coalescer issues
+//     one transaction per distinct line per warp);
+//   * atomic conflicts: for scatter kernels, Σ(multiplicity-1) of identical
+//     addresses within a warp (hardware serializes same-address atomics);
+//   * cross-warp same-address pressure within a sliding window, modeling
+//     back-to-back atomics on one location arriving faster than the
+//     cache's RMW pipeline can retire them.
+//
+// Feeding these streams through CacheModel splits transaction traffic into
+// LLC hits and DRAM fills. Everything downstream (Figs. 6-10) is computed
+// from this struct plus the DeviceSpec.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/cache.hpp"
+#include "gpusim/device.hpp"
+
+namespace vpic::gpusim {
+
+struct StreamStats {
+  std::uint64_t accesses = 0;          // individual thread accesses
+  std::uint64_t warps = 0;             // warp count
+  std::uint64_t transactions = 0;      // coalesced line transactions
+  std::uint64_t dram_lines = 0;        // transactions missing in LLC
+  std::uint64_t llc_lines = 0;         // transactions hitting in LLC
+  std::uint64_t atomic_conflicts = 0;  // within-warp same-address serials
+  std::uint64_t window_conflicts = 0;  // cross-warp same-address pressure
+
+  [[nodiscard]] double lines_per_warp() const noexcept {
+    return warps ? static_cast<double>(transactions) /
+                       static_cast<double>(warps)
+                 : 0.0;
+  }
+  [[nodiscard]] double coalescing_efficiency(int warp_size, int line_bytes,
+                                             int elem_bytes) const noexcept {
+    // 1.0 = perfectly coalesced (minimum possible lines per warp).
+    const double ideal =
+        static_cast<double>(warp_size * elem_bytes) / line_bytes;
+    const double actual = lines_per_warp();
+    return actual > 0 ? (ideal < 1 ? 1.0 : ideal) / actual : 1.0;
+  }
+};
+
+/// Analyze an indexed-access stream: thread t accesses
+/// base_addr + idx[t]*elem_bytes. If `cache` is non-null, each distinct
+/// line per warp is run through it (in stream order) to classify DRAM vs
+/// LLC. If `atomics` is true, same-address conflicts are tallied.
+/// `elem_bytes` is the stride between record 0 and record 1; `record_bytes`
+/// (default: elem_bytes) is how many bytes each access actually touches —
+/// multi-line records (e.g. a 72-byte interpolator struct) generate one
+/// transaction per spanned line.
+template <class K>
+StreamStats analyze_stream(const K* idx, std::uint64_t n, int elem_bytes,
+                           const DeviceSpec& dev, CacheModel* cache,
+                           bool atomics, std::uint64_t base_addr = 0,
+                           int atomic_window = 1024, int record_bytes = 0) {
+  StreamStats s;
+  s.accesses = n;
+  if (record_bytes <= 0) record_bytes = elem_bytes;
+  const int w = dev.warp_size;
+  const auto lb = static_cast<std::uint64_t>(dev.line_bytes);
+
+  // Per-warp scratch: distinct lines and address multiplicity.
+  std::vector<std::uint64_t> lines;
+  lines.reserve(static_cast<std::size_t>(w));
+  std::unordered_map<std::uint64_t, int> mult;
+  mult.reserve(static_cast<std::size_t>(w) * 2);
+
+  // Sliding window multiplicity for cross-warp atomic pressure.
+  std::unordered_map<std::uint64_t, int> window_mult;
+  std::vector<std::uint64_t> window_ring(
+      static_cast<std::size_t>(atomic_window), ~0ull);
+  std::size_t ring_pos = 0;
+
+  for (std::uint64_t start = 0; start < n; start += static_cast<std::uint64_t>(w)) {
+    const std::uint64_t end = std::min(n, start + static_cast<std::uint64_t>(w));
+    ++s.warps;
+    lines.clear();
+    mult.clear();
+    for (std::uint64_t t = start; t < end; ++t) {
+      const std::uint64_t addr =
+          base_addr + static_cast<std::uint64_t>(idx[t]) *
+                          static_cast<std::uint64_t>(elem_bytes);
+      const std::uint64_t first_line = addr / lb;
+      const std::uint64_t last_line =
+          (addr + static_cast<std::uint64_t>(record_bytes) - 1) / lb;
+      for (std::uint64_t line = first_line; line <= last_line; ++line) {
+        bool seen = false;
+        for (auto l : lines)
+          if (l == line) {
+            seen = true;
+            break;
+          }
+        if (!seen) lines.push_back(line);
+      }
+      if (atomics) {
+        ++mult[addr];
+        // Sliding window update.
+        const std::uint64_t evict = window_ring[ring_pos];
+        if (evict != ~0ull) {
+          auto it = window_mult.find(evict);
+          if (it != window_mult.end() && --it->second == 0)
+            window_mult.erase(it);
+        }
+        window_ring[ring_pos] = addr;
+        ring_pos = (ring_pos + 1) % window_ring.size();
+        const int wm = ++window_mult[addr];
+        if (wm > 1) ++s.window_conflicts;
+      }
+    }
+    s.transactions += lines.size();
+    if (cache) {
+      for (auto l : lines) {
+        if (cache->access(l))
+          ++s.llc_lines;
+        else
+          ++s.dram_lines;
+      }
+    } else {
+      s.dram_lines += lines.size();
+    }
+    if (atomics) {
+      for (const auto& [addr, m] : mult)
+        if (m > 1) s.atomic_conflicts += static_cast<std::uint64_t>(m - 1);
+    }
+  }
+  return s;
+}
+
+/// Analyze a purely streaming (contiguous) access pattern of n elements —
+/// always perfectly coalesced; used for the particle-array loads/stores.
+inline StreamStats analyze_streaming(std::uint64_t n, int elem_bytes,
+                                     const DeviceSpec& dev,
+                                     CacheModel* cache = nullptr,
+                                     std::uint64_t base_addr = 0) {
+  StreamStats s;
+  s.accesses = n;
+  const auto lb = static_cast<std::uint64_t>(dev.line_bytes);
+  const std::uint64_t total_bytes = n * static_cast<std::uint64_t>(elem_bytes);
+  const std::uint64_t nlines = (total_bytes + lb - 1) / lb;
+  s.warps = (n + static_cast<std::uint64_t>(dev.warp_size) - 1) /
+            static_cast<std::uint64_t>(dev.warp_size);
+  s.transactions = nlines;
+  if (cache) {
+    const std::uint64_t first = base_addr / lb;
+    for (std::uint64_t l = 0; l < nlines; ++l) {
+      if (cache->access(first + l))
+        ++s.llc_lines;
+      else
+        ++s.dram_lines;
+    }
+  } else {
+    s.dram_lines = nlines;
+  }
+  return s;
+}
+
+}  // namespace vpic::gpusim

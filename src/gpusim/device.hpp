@@ -1,0 +1,65 @@
+// gpusim/device.hpp
+//
+// Device descriptors for the analytic GPU/CPU performance model. The
+// paper's GPU results (Figs. 6-10) were measured on V100/A100/H100/MI100/
+// MI250/MI300A hardware that is not available here; the substitution (see
+// DESIGN.md) executes kernels functionally on the host while timing them
+// against this model. Core counts, memory capacities, last-level cache
+// sizes and STREAM Triad bandwidths are taken directly from Table 1 of the
+// paper; microarchitectural parameters (warp size, line size, latencies,
+// LLC bandwidth, peak FP32) come from vendor documentation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vpic::gpusim {
+
+enum class Vendor : std::uint8_t { Nvidia, Amd, IntelCpu, ArmCpu, AmdCpu };
+
+enum class DeviceKind : std::uint8_t { Gpu, Cpu };
+
+struct DeviceSpec {
+  std::string name;
+  DeviceKind kind = DeviceKind::Gpu;
+  Vendor vendor = Vendor::Nvidia;
+
+  // --- Table 1 columns ---
+  int core_count = 0;          // "Core count" (CUDA cores / CPU cores)
+  double mem_gb = 0;           // main memory capacity
+  double llc_mb = 0;           // last-level cache
+  double dram_bw_gbs = 0;      // STREAM Triad main-memory bandwidth
+
+  // --- modeled microarchitecture ---
+  int warp_size = 32;          // SIMT width (32 NV, 64 AMD wavefront)
+  int line_bytes = 128;        // memory transaction granularity
+  double llc_bw_gbs = 0;       // LLC sustained bandwidth
+  double peak_fp32_gflops = 0; // FP32 peak
+  double dram_latency_ns = 0;  // average DRAM round trip
+  double llc_latency_ns = 0;
+  int max_outstanding = 0;     // memory-level parallelism cap (transactions)
+  double atomic_ns = 0;        // serialized same-address atomic RMW cost
+  int atomic_lanes = 1;        // parallel atomic pipelines (LLC slices)
+
+  // --- interconnect (alpha-beta) for the scaling model ---
+  double link_latency_us = 0;  // per-message latency
+  double link_bw_gbs = 0;      // per-GPU injection bandwidth
+
+  [[nodiscard]] double llc_bytes() const noexcept { return llc_mb * 1e6; }
+  [[nodiscard]] bool is_gpu() const noexcept { return kind == DeviceKind::Gpu; }
+};
+
+/// All devices from Table 1 of the paper (CPUs and GPUs).
+const std::vector<DeviceSpec>& device_table();
+
+/// Lookup by name ("A100", "MI250", "SPR HBM", ...). Throws on miss.
+const DeviceSpec& device(const std::string& name);
+
+/// GPUs evaluated in Figs. 6/7 and the scaling studies.
+std::vector<std::string> gpu_names();
+
+/// CPUs evaluated in Figs. 3/4/5.
+std::vector<std::string> cpu_names();
+
+}  // namespace vpic::gpusim

@@ -1,0 +1,10 @@
+// gpusim/gpusim.hpp — umbrella header for the analytic GPU/CPU model.
+#pragma once
+
+#include "gpusim/cache.hpp"
+#include "gpusim/coalescing.hpp"
+#include "gpusim/comm_model.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/kernel_model.hpp"
+#include "gpusim/push_model.hpp"
+#include "gpusim/scaling.hpp"

@@ -1,0 +1,152 @@
+#include "gpusim/scaling.hpp"
+
+#include <algorithm>
+
+namespace vpic::gpusim {
+
+namespace {
+
+/// Model a push of `particles` particles by analyzing a capped sample and
+/// scaling time linearly (the stream statistics are homogeneous in n).
+PushResult model_push_sampled(const DeviceSpec& dev, std::uint64_t particles,
+                              std::uint64_t grid_points,
+                              const PushModelParams& params,
+                              std::uint64_t seed, std::uint64_t cap) {
+  const std::uint64_t n = std::min(particles, cap);
+  auto cells = random_cell_sequence(n, std::max<std::uint64_t>(1, grid_points),
+                                    seed);
+  PushResult r = model_push(dev, cells, grid_points, params);
+  if (n < particles && n > 0) {
+    const double scale =
+        static_cast<double>(particles) / static_cast<double>(n);
+    r.timing.seconds *= scale;
+    r.particles = particles;
+    // pushes/ns is intensive; it does not scale.
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<GridSweepPoint> grid_size_sweep(
+    const DeviceSpec& dev, std::uint64_t particles,
+    const std::vector<std::uint64_t>& grid_sizes,
+    const PushModelParams& params, std::uint64_t seed,
+    std::uint64_t analysis_cap) {
+  std::vector<GridSweepPoint> out;
+  out.reserve(grid_sizes.size());
+  for (const auto g : grid_sizes) {
+    PushResult r =
+        model_push_sampled(dev, particles, g, params, seed, analysis_cap);
+    GridSweepPoint pt;
+    pt.grid_points = g;
+    pt.pushes_per_ns = r.pushes_per_ns;
+    pt.grid_mb =
+        static_cast<double>(g) * params.grid_bytes_per_point / 1e6;
+    pt.fits_llc = pt.grid_mb * 1e6 <= dev.llc_bytes();
+    pt.bound = r.timing.bound;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<ScalingPoint> strong_scaling(
+    const DeviceSpec& dev, std::uint64_t total_grid_points,
+    std::uint64_t total_particles, const std::vector<int>& rank_counts,
+    const PushModelParams& params, const CommParams& comm,
+    std::uint64_t seed, std::uint64_t analysis_cap) {
+  std::vector<ScalingPoint> out;
+  out.reserve(rank_counts.size());
+  double base_time = 0;
+  int base_ranks = 0;
+  for (const int n : rank_counts) {
+    const std::uint64_t cells_per_rank =
+        std::max<std::uint64_t>(1, total_grid_points / static_cast<std::uint64_t>(n));
+    const std::uint64_t parts_per_rank =
+        std::max<std::uint64_t>(1, total_particles / static_cast<std::uint64_t>(n));
+
+    PushResult r = model_push_sampled(dev, parts_per_rank, cells_per_rank,
+                                      params, seed, analysis_cap);
+    const CommEstimate c =
+        model_comm(dev, static_cast<double>(cells_per_rank),
+                   static_cast<double>(parts_per_rank), n, comm);
+
+    ScalingPoint pt;
+    pt.ranks = n;
+    pt.push_seconds = r.timing.seconds;
+    pt.comm_seconds = c.seconds;
+    pt.step_seconds = r.timing.seconds + c.seconds;
+    pt.pushes_per_ns_per_rank = r.pushes_per_ns;
+    pt.grid_fits_llc = static_cast<double>(cells_per_rank) *
+                           params.grid_bytes_per_point <=
+                       dev.llc_bytes();
+    if (out.empty()) {
+      base_time = pt.step_seconds;
+      base_ranks = n;
+    }
+    pt.speedup = base_time / pt.step_seconds;
+    pt.ideal_speedup = static_cast<double>(n) / base_ranks;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<WeakPoint> weak_scaling(
+    const DeviceSpec& dev, std::uint64_t grid_points_per_rank,
+    std::uint64_t particles_per_rank, const std::vector<int>& rank_counts,
+    const PushModelParams& params, const CommParams& comm,
+    std::uint64_t seed, std::uint64_t analysis_cap) {
+  std::vector<WeakPoint> out;
+  // The per-rank push is identical at every scale: model it once.
+  const PushResult r = model_push_sampled(
+      dev, particles_per_rank, grid_points_per_rank, params, seed,
+      analysis_cap);
+  double base = 0;
+  for (const int n : rank_counts) {
+    const CommEstimate c =
+        model_comm(dev, static_cast<double>(grid_points_per_rank),
+                   static_cast<double>(particles_per_rank), n, comm);
+    WeakPoint pt;
+    pt.ranks = n;
+    pt.push_seconds = r.timing.seconds;
+    pt.comm_seconds = c.seconds;
+    pt.step_seconds = r.timing.seconds + c.seconds;
+    if (out.empty()) base = pt.step_seconds;
+    pt.efficiency = base / pt.step_seconds;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<BatchPoint> batch_throughput(
+    const DeviceSpec& dev, std::uint64_t grid_points_per_sim,
+    std::uint64_t particles_per_sim, int total_gpus, int steps_per_sim,
+    const PushModelParams& params, const CommParams& comm,
+    std::uint64_t seed, std::uint64_t analysis_cap) {
+  std::vector<BatchPoint> out;
+  for (int gang = 1; gang <= total_gpus; gang *= 2) {
+    const std::uint64_t cells =
+        std::max<std::uint64_t>(1, grid_points_per_sim / static_cast<std::uint64_t>(gang));
+    const std::uint64_t parts =
+        std::max<std::uint64_t>(1, particles_per_sim / static_cast<std::uint64_t>(gang));
+    PushResult r =
+        model_push_sampled(dev, parts, cells, params, seed, analysis_cap);
+    const CommEstimate c = model_comm(dev, static_cast<double>(cells),
+                                      static_cast<double>(parts), gang, comm);
+    BatchPoint pt;
+    pt.gang_size = gang;
+    pt.concurrent_gangs = total_gpus / gang;
+    pt.step_seconds_per_sim = r.timing.seconds + c.seconds;
+    // Each gang finishes a sim every steps * step_time; gangs overlap.
+    pt.sims_per_second =
+        static_cast<double>(pt.concurrent_gangs) /
+        (pt.step_seconds_per_sim * static_cast<double>(steps_per_sim));
+    pt.grid_fits_llc = static_cast<double>(cells) *
+                           params.grid_bytes_per_point <=
+                       dev.llc_bytes();
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace vpic::gpusim

@@ -1,0 +1,90 @@
+// gpusim/scaling.hpp
+//
+// Strong-scaling and grid-sweep engines for the Fig. 9 / Fig. 10
+// experiments: fixed total particles, per-rank grid shrinking with rank
+// count, push time from the analytic push model and exchange time from the
+// alpha-beta comm model. Superlinear speedup emerges when the per-rank grid
+// crosses under the device's LLC capacity — the caching phenomenon the
+// paper exploits (Section 5.5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/comm_model.hpp"
+#include "gpusim/push_model.hpp"
+
+namespace vpic::gpusim {
+
+struct GridSweepPoint {
+  std::uint64_t grid_points = 0;
+  double pushes_per_ns = 0;
+  double grid_mb = 0;       // modeled hot bytes of the grid
+  bool fits_llc = false;
+  Bound bound = Bound::Dram;
+};
+
+/// Fig. 9: pushes/ns as a function of grid size at fixed particle count,
+/// sorting disabled (random particle order).
+std::vector<GridSweepPoint> grid_size_sweep(
+    const DeviceSpec& dev, std::uint64_t particles,
+    const std::vector<std::uint64_t>& grid_sizes,
+    const PushModelParams& params = {}, std::uint64_t seed = 777,
+    std::uint64_t analysis_cap = 2'000'000);
+
+struct ScalingPoint {
+  int ranks = 0;
+  double push_seconds = 0;
+  double comm_seconds = 0;
+  double step_seconds = 0;
+  double speedup = 0;       // vs the smallest rank count in the sweep
+  double ideal_speedup = 0;
+  double pushes_per_ns_per_rank = 0;
+  bool grid_fits_llc = false;
+};
+
+/// Fig. 10: strong scaling at fixed total (grid, particles).
+std::vector<ScalingPoint> strong_scaling(
+    const DeviceSpec& dev, std::uint64_t total_grid_points,
+    std::uint64_t total_particles, const std::vector<int>& rank_counts,
+    const PushModelParams& params = {}, const CommParams& comm = {},
+    std::uint64_t seed = 777, std::uint64_t analysis_cap = 2'000'000);
+
+/// Section-6 extension: throughput (simulations/second) for a batch of
+/// identical small simulations on `total_gpus`, where gangs of `gang_size`
+/// GPUs strong-scale each simulation and total_gpus/gang_size gangs run
+/// concurrently. gang_size = 1 is naive batching; larger gangs trade comm
+/// overhead for the superlinear cache effect ("running large batches of
+/// smaller simulations ... as training datasets").
+struct BatchPoint {
+  int gang_size = 0;
+  int concurrent_gangs = 0;
+  double step_seconds_per_sim = 0;
+  double sims_per_second = 0;  // for fixed steps_per_sim
+  bool grid_fits_llc = false;
+};
+
+/// Weak scaling (companion diagnostic to Fig. 10): per-rank problem held
+/// fixed while ranks grow; ideal is flat step time, and the deviation
+/// isolates the communication model's growth.
+struct WeakPoint {
+  int ranks = 0;
+  double push_seconds = 0;
+  double comm_seconds = 0;
+  double step_seconds = 0;
+  double efficiency = 0;  // t(first) / t(n)
+};
+
+std::vector<WeakPoint> weak_scaling(
+    const DeviceSpec& dev, std::uint64_t grid_points_per_rank,
+    std::uint64_t particles_per_rank, const std::vector<int>& rank_counts,
+    const PushModelParams& params = {}, const CommParams& comm = {},
+    std::uint64_t seed = 777, std::uint64_t analysis_cap = 2'000'000);
+
+std::vector<BatchPoint> batch_throughput(
+    const DeviceSpec& dev, std::uint64_t grid_points_per_sim,
+    std::uint64_t particles_per_sim, int total_gpus, int steps_per_sim,
+    const PushModelParams& params = {}, const CommParams& comm = {},
+    std::uint64_t seed = 777, std::uint64_t analysis_cap = 2'000'000);
+
+}  // namespace vpic::gpusim

@@ -1,0 +1,224 @@
+#include "gs/gather_scatter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace vpic::gs {
+
+pk::View<std::uint32_t, 1> make_keys(Pattern p, index_t n, index_t unique) {
+  pk::View<std::uint32_t, 1> keys("gs_keys", n);
+  switch (p) {
+    case Pattern::Contiguous:
+      pk::parallel_for(n, [&](index_t i) {
+        keys(i) = static_cast<std::uint32_t>(i);
+      });
+      break;
+    case Pattern::Repeated:
+    case Pattern::Stencil5: {
+      // Clustered repeats: key j occupies slots [j*r, (j+1)*r) — the
+      // "standard classification" starting state of the paper's benchmark
+      // (all repeats of a key adjacent, like particles sharing a cell).
+      const index_t r = n / unique > 0 ? n / unique : 1;
+      pk::parallel_for(n, [&](index_t i) {
+        keys(i) = static_cast<std::uint32_t>(
+            std::min(unique - 1, i / r));
+      });
+      break;
+    }
+  }
+  return keys;
+}
+
+index_t table_size(Pattern p, index_t unique) {
+  switch (p) {
+    case Pattern::Contiguous:
+    case Pattern::Repeated:
+      return unique;
+    case Pattern::Stencil5:
+      return unique + 1;  // +1 for the wrapped +-1 halo convenience
+  }
+  return unique;
+}
+
+std::uint64_t logical_bytes(Pattern p, index_t n) {
+  const auto un = static_cast<std::uint64_t>(n);
+  switch (p) {
+    case Pattern::Contiguous:
+    case Pattern::Repeated:
+      // key read (4) + gather read (8) + scatter RMW (16) + src read (8)
+      return un * (4 + 8 + 16 + 8);
+    case Pattern::Stencil5:
+      // key read (4) + 5 gathers (40) + atomic scatter RMW (16) + out (8)
+      return un * (4 + 40 + 16 + 8);
+  }
+  return 0;
+}
+
+namespace {
+HostResult finish(double seconds, std::uint64_t bytes, double checksum) {
+  HostResult r;
+  r.seconds = seconds;
+  r.gb_per_s = static_cast<double>(bytes) / seconds / 1e9;
+  r.checksum = checksum;
+  return r;
+}
+}  // namespace
+
+HostResult run_gather(const pk::View<std::uint32_t, 1>& keys,
+                      const pk::View<double, 1>& data,
+                      pk::View<double, 1>& out) {
+  const index_t n = keys.size();
+  const std::uint32_t* PK_RESTRICT k = keys.data();
+  const double* PK_RESTRICT d = data.data();
+  double* PK_RESTRICT o = out.data();
+  pk::Timer t;
+  pk::parallel_for(n, [=](index_t i) { o[i] = d[k[i]]; });
+  const double sec = t.seconds();
+  return finish(sec, static_cast<std::uint64_t>(n) * (4 + 8 + 8),
+                o[0] + o[n / 2] + o[n - 1]);
+}
+
+HostResult run_scatter_add(const pk::View<std::uint32_t, 1>& keys,
+                           pk::View<double, 1>& data,
+                           const pk::View<double, 1>& src) {
+  const index_t n = keys.size();
+  const std::uint32_t* PK_RESTRICT k = keys.data();
+  double* PK_RESTRICT d = data.data();
+  const double* PK_RESTRICT s = src.data();
+  pk::Timer t;
+  pk::parallel_for(n, [=](index_t i) { pk::atomic_add(&d[k[i]], s[i]); });
+  const double sec = t.seconds();
+  return finish(sec, static_cast<std::uint64_t>(n) * (4 + 16 + 8),
+                d[k[0]] + d[k[n - 1]]);
+}
+
+HostResult run_stencil5(const pk::View<std::uint32_t, 1>& keys,
+                        pk::View<double, 1>& data,
+                        pk::View<double, 1>& out, index_t stride) {
+  const index_t n = keys.size();
+  const index_t m = data.size();
+  const std::uint32_t* PK_RESTRICT k = keys.data();
+  double* PK_RESTRICT d = data.data();
+  double* PK_RESTRICT o = out.data();
+  pk::Timer t;
+  pk::parallel_for(n, [=](index_t i) {
+    const auto c = static_cast<index_t>(k[i]);
+    const index_t xm = (c + m - 1) % m;
+    const index_t xp = (c + 1) % m;
+    const index_t ym = (c + m - stride) % m;
+    const index_t yp = (c + stride) % m;
+    const double v = d[c] + d[xm] + d[xp] + d[ym] + d[yp];
+    o[i] = v;
+    // Scatter phase: accumulate back to the center point, as the particle
+    // push does (this is a gather-scatter benchmark).
+    pk::atomic_add(&d[c], 0.25 * v);
+  });
+  const double sec = t.seconds();
+  return finish(sec, logical_bytes(Pattern::Stencil5, n),
+                o[0] + o[n / 2] + o[n - 1]);
+}
+
+HostResult run_gather_scatter(const pk::View<std::uint32_t, 1>& keys,
+                              pk::View<double, 1>& data,
+                              pk::View<double, 1>& out) {
+  const index_t n = keys.size();
+  const std::uint32_t* PK_RESTRICT k = keys.data();
+  double* PK_RESTRICT d = data.data();
+  double* PK_RESTRICT o = out.data();
+  pk::Timer t;
+  pk::parallel_for(n, [=](index_t i) {
+    const double v = d[k[i]];
+    o[i] = v;
+    pk::atomic_add(&d[k[i]], 1.0);
+  });
+  const double sec = t.seconds();
+  return finish(sec, logical_bytes(Pattern::Repeated, n),
+                o[0] + o[n - 1]);
+}
+
+gpusim::KernelTiming model_gather_scatter(
+    const gpusim::DeviceSpec& dev, const pk::View<std::uint32_t, 1>& keys,
+    index_t unique) {
+  const auto n = static_cast<std::uint64_t>(keys.size());
+  gpusim::CacheModel cache(
+      static_cast<std::uint64_t>(dev.llc_bytes()), dev.line_bytes, 16);
+
+  // Gather of 8-byte elements, then atomic scatter back to the same table.
+  const auto gather = gpusim::analyze_stream(
+      keys.data(), n, 8, dev, &cache, /*atomics=*/false);
+  const auto scatter = gpusim::analyze_stream(
+      keys.data(), n, 8, dev, &cache, /*atomics=*/true);
+  // Key array + output stream through DRAM.
+  const auto kread = gpusim::analyze_streaming(n, 4, dev);
+  const auto owrite = gpusim::analyze_streaming(n, 8, dev);
+
+  gpusim::KernelProfile p;
+  p.threads = n;
+  p.flops = static_cast<double>(n);  // one add per element
+  const auto lb = static_cast<std::uint64_t>(dev.line_bytes);
+  p.dram_bytes = (gather.dram_lines + 2 * scatter.dram_lines +
+                  kread.dram_lines + owrite.dram_lines) *
+                 lb;
+  p.llc_bytes = (gather.llc_lines + 2 * scatter.llc_lines) * lb;
+  p.transactions = gather.transactions + scatter.transactions +
+                   kread.transactions + owrite.transactions;
+  p.warp_rounds = gather.warps + scatter.warps + kread.warps + owrite.warps;
+  p.atomic_serial = scatter.atomic_conflicts + scatter.window_conflicts;
+  p.logical_bytes = logical_bytes(Pattern::Repeated, keys.size());
+  (void)unique;
+  return gpusim::time_kernel(dev, p);
+}
+
+gpusim::KernelTiming model_stencil5(const gpusim::DeviceSpec& dev,
+                                    const pk::View<std::uint32_t, 1>& keys,
+                                    index_t unique, index_t stride) {
+  const auto n = static_cast<std::uint64_t>(keys.size());
+  const auto m = static_cast<std::uint64_t>(table_size(Pattern::Stencil5,
+                                                       unique));
+  gpusim::CacheModel cache(
+      static_cast<std::uint64_t>(dev.llc_bytes()), dev.line_bytes, 16);
+
+  // Five gathers at offsets {0, +-1, +-stride} (wrapped) plus an atomic
+  // scatter back to the center point: analyze each shifted stream against
+  // the shared cache.
+  gpusim::KernelProfile p;
+  p.threads = n;
+  p.flops = 6.0 * static_cast<double>(n);
+  const auto lb = static_cast<std::uint64_t>(dev.line_bytes);
+  std::vector<std::uint32_t> shifted(n);
+  const std::int64_t offs[5] = {0, -1, +1,
+                                -static_cast<std::int64_t>(stride),
+                                +static_cast<std::int64_t>(stride)};
+  for (const auto off : offs) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::int64_t>(keys(static_cast<index_t>(i)));
+      shifted[i] = static_cast<std::uint32_t>(
+          (c + off + static_cast<std::int64_t>(m)) %
+          static_cast<std::int64_t>(m));
+    }
+    const auto s = gpusim::analyze_stream(shifted.data(), n, 8, dev, &cache,
+                                          /*atomics=*/false);
+    p.dram_bytes += s.dram_lines * lb;
+    p.llc_bytes += s.llc_lines * lb;
+    p.transactions += s.transactions;
+    p.warp_rounds += s.warps;
+  }
+  // Scatter phase: atomic RMW on the center point.
+  const auto scatter = gpusim::analyze_stream(keys.data(), n, 8, dev, &cache,
+                                              /*atomics=*/true);
+  p.dram_bytes += 2 * scatter.dram_lines * lb;
+  p.llc_bytes += 2 * scatter.llc_lines * lb;
+  p.transactions += scatter.transactions;
+  p.warp_rounds += scatter.warps;
+  p.atomic_serial = scatter.atomic_conflicts + scatter.window_conflicts;
+  const auto kread = gpusim::analyze_streaming(n, 4, dev);
+  const auto owrite = gpusim::analyze_streaming(n, 8, dev);
+  p.dram_bytes += (kread.dram_lines + owrite.dram_lines) * lb;
+  p.transactions += kread.transactions + owrite.transactions;
+  p.warp_rounds += kread.warps + owrite.warps;
+  p.logical_bytes = logical_bytes(Pattern::Stencil5, keys.size());
+  return gpusim::time_kernel(dev, p);
+}
+
+}  // namespace vpic::gs

@@ -1,0 +1,101 @@
+// gs/gather_scatter.hpp
+//
+// The gather-scatter microbenchmark of Section 5.4: N double-precision
+// elements accessed through a key array under three patterns —
+//
+//   Contiguous  unique keys in sorted order (ideal, fully coalesced)
+//   Repeated    `unique` distinct keys each repeated N/unique times
+//               (high atomic contention on the scatter)
+//   Stencil5    5-point stencil around each key (the particle-push-like
+//               irregular pattern)
+//
+// Each kernel runs two ways: (a) real execution on the host CPU with
+// measured wall time, and (b) through the analytic device model (gpusim)
+// for the Table-1 platforms. Both report the paper's bandwidth metric:
+// total logical data movement / time.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/gpusim.hpp"
+#include "pk/pk.hpp"
+
+namespace vpic::gs {
+
+using pk::index_t;
+
+enum class Pattern : std::uint8_t { Contiguous, Repeated, Stencil5 };
+
+inline const char* to_string(Pattern p) noexcept {
+  switch (p) {
+    case Pattern::Contiguous:
+      return "contiguous";
+    case Pattern::Repeated:
+      return "repeated";
+    case Pattern::Stencil5:
+      return "stencil5";
+  }
+  return "?";
+}
+
+/// Key array for a pattern: n accesses over `unique` distinct keys.
+/// Contiguous: unique == n, key[i] = i. Repeated/Stencil5: each key value
+/// appears n/unique times, clustered (the unsorted state a PIC code sees
+/// after particles bunch in cells).
+pk::View<std::uint32_t, 1> make_keys(Pattern p, index_t n, index_t unique);
+
+/// Number of distinct data elements the pattern touches (table size).
+index_t table_size(Pattern p, index_t unique);
+
+/// Logical data movement per kernel invocation in bytes (the paper's
+/// bandwidth numerator): key reads + data reads/writes.
+std::uint64_t logical_bytes(Pattern p, index_t n);
+
+// ----------------------------------------------------------------------
+// Real host execution (measured).
+// ----------------------------------------------------------------------
+
+struct HostResult {
+  double seconds = 0;
+  double gb_per_s = 0;
+  double checksum = 0;  // defeats dead-code elimination; testable
+};
+
+/// out[i] = data[key[i]]
+HostResult run_gather(const pk::View<std::uint32_t, 1>& keys,
+                      const pk::View<double, 1>& data,
+                      pk::View<double, 1>& out);
+
+/// data[key[i]] += src[i]  (atomic)
+HostResult run_scatter_add(const pk::View<std::uint32_t, 1>& keys,
+                           pk::View<double, 1>& data,
+                           const pk::View<double, 1>& src);
+
+/// out[i] = sum of data[key[i] + {0, +-1, +-stride}] (wrapped), then an
+/// atomic accumulate back to the center point — the 5-point gather-scatter
+/// stencil. `data` is mutated by the scatter phase.
+HostResult run_stencil5(const pk::View<std::uint32_t, 1>& keys,
+                        pk::View<double, 1>& data,
+                        pk::View<double, 1>& out, index_t stride);
+
+/// Combined gather + atomic scatter (the benchmark's headline kernel).
+HostResult run_gather_scatter(const pk::View<std::uint32_t, 1>& keys,
+                              pk::View<double, 1>& data,
+                              pk::View<double, 1>& out);
+
+// ----------------------------------------------------------------------
+// Modeled execution on a Table-1 device.
+// ----------------------------------------------------------------------
+
+/// Model the gather+scatter kernel over `keys` on `dev`; element type is
+/// double (8 bytes), table of `unique` elements.
+gpusim::KernelTiming model_gather_scatter(
+    const gpusim::DeviceSpec& dev, const pk::View<std::uint32_t, 1>& keys,
+    index_t unique);
+
+/// Model the 5-point stencil kernel.
+gpusim::KernelTiming model_stencil5(const gpusim::DeviceSpec& dev,
+                                    const pk::View<std::uint32_t, 1>& keys,
+                                    index_t unique, index_t stride);
+
+}  // namespace vpic::gs

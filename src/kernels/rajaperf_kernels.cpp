@@ -1,0 +1,139 @@
+#include "kernels/rajaperf_kernels.hpp"
+
+#include <cmath>
+
+#include "simd/simd.hpp"
+
+namespace vpic::kernels {
+
+namespace {
+constexpr int kW = simd::native_width<double>();
+using D = simd::simd<double, kW>;
+}  // namespace
+
+void axpy(Strategy s, double a, const pk::View<double, 1>& x,
+          pk::View<double, 1>& y) {
+  const index_t n = x.size();
+  const double* PK_RESTRICT xp = x.data();
+  double* PK_RESTRICT yp = y.data();
+  switch (s) {
+    case Strategy::Auto:
+      pk::parallel_for(n, [=](index_t i) { yp[i] += a * xp[i]; });
+      break;
+    case Strategy::Guided: {
+#if PK_HAVE_OPENMP
+#pragma omp parallel for simd schedule(static)
+#endif
+      for (index_t i = 0; i < n; ++i) yp[i] += a * xp[i];
+      break;
+    }
+    case Strategy::Manual: {
+      const index_t nv = n / kW * kW;
+      const D av(a);
+      pk::parallel_for(nv / kW, [=](index_t b) {
+        const index_t i = b * kW;
+        D yv = D::load(yp + i);
+        yv += av * D::load(xp + i);
+        yv.store(yp + i);
+      });
+      for (index_t i = nv; i < n; ++i) yp[i] += a * xp[i];
+      break;
+    }
+  }
+}
+
+void planckian(Strategy s, const pk::View<double, 1>& x,
+               const pk::View<double, 1>& v, const pk::View<double, 1>& u,
+               pk::View<double, 1>& y) {
+  const index_t n = x.size();
+  const double* PK_RESTRICT xp = x.data();
+  const double* PK_RESTRICT vp = v.data();
+  const double* PK_RESTRICT up = u.data();
+  double* PK_RESTRICT yp = y.data();
+  switch (s) {
+    case Strategy::Auto:
+      pk::parallel_for(n, [=](index_t i) {
+        yp[i] = up[i] / (std::exp(xp[i] / vp[i]) - 1.0);
+      });
+      break;
+    case Strategy::Guided: {
+#if PK_HAVE_OPENMP
+#pragma omp parallel for simd schedule(static)
+#endif
+      for (index_t i = 0; i < n; ++i)
+        yp[i] = up[i] / (std::exp(xp[i] / vp[i]) - 1.0);
+      break;
+    }
+    case Strategy::Manual: {
+      const index_t nv = n / kW * kW;
+      const D one(1.0);
+      pk::parallel_for(nv / kW, [=](index_t b) {
+        const index_t i = b * kW;
+        const D xv = D::load(xp + i);
+        const D vv = D::load(vp + i);
+        const D uv = D::load(up + i);
+        const D e = simd::exp(xv / vv);
+        (uv / (e - one)).store(yp + i);
+      });
+      for (index_t i = nv; i < n; ++i)
+        yp[i] = up[i] / (std::exp(xp[i] / vp[i]) - 1.0);
+      break;
+    }
+  }
+}
+
+double pi_reduce(Strategy s, index_t n) {
+  const double dx = 1.0 / static_cast<double>(n);
+  switch (s) {
+    case Strategy::Auto: {
+      double pi = 0;
+      pk::parallel_reduce(
+          n,
+          [=](index_t i, double& acc) {
+            const double t = (static_cast<double>(i) + 0.5) * dx;
+            acc += 4.0 / (1.0 + t * t);
+          },
+          pi);
+      return pi * dx;
+    }
+    case Strategy::Guided: {
+      double pi = 0;
+#if PK_HAVE_OPENMP
+#pragma omp parallel for simd reduction(+ : pi) schedule(static)
+#endif
+      for (index_t i = 0; i < n; ++i) {
+        const double t = (static_cast<double>(i) + 0.5) * dx;
+        pi += 4.0 / (1.0 + t * t);
+      }
+      return pi * dx;
+    }
+    case Strategy::Manual: {
+      const index_t nb = n / kW;
+      const D dxv(dx);
+      const D four(4.0), one(1.0), half(0.5);
+      // Per-thread vector accumulators via parallel_reduce over blocks.
+      struct VecSum {
+        using value_type = double;
+        static constexpr double identity() noexcept { return 0.0; }
+        static void join(double& a, const double& b) noexcept { a += b; }
+      };
+      double pi = 0;
+      pk::parallel_reduce<VecSum>(
+          pk::RangePolicy<>(nb),
+          [=](index_t b, double& acc) {
+            const D i0(static_cast<double>(b * kW));
+            const D t = (i0 + D::iota() + half) * dxv;
+            acc += (four / (one + t * t)).reduce_sum();
+          },
+          pi);
+      for (index_t i = nb * kW; i < n; ++i) {
+        const double t = (static_cast<double>(i) + 0.5) * dx;
+        pi += 4.0 / (1.0 + t * t);
+      }
+      return pi * dx;
+    }
+  }
+  return 0;
+}
+
+}  // namespace vpic::kernels

@@ -1,0 +1,49 @@
+// kernels/rajaperf_kernels.hpp
+//
+// The three microbenchmark kernels of the vectorization study (Section
+// 5.3), derived from the RAJAPerf suite, each implemented with the three
+// portable strategies:
+//
+//   AXPY       y[i] += a * x[i]                 — trivially vectorizable
+//   PLANCKIAN  y[i] = u[i] / (exp(x[i]/v[i]) - 1) — libm exp blocks
+//                                                  auto-vectorization
+//   PI_REDUCE  pi = sum 4/(1+((i+1/2)/n)^2) / n  — reduction with division
+//
+// Strategy mapping (Section 4.2): auto = portability-layer loop with
+// internal ivdep; guided = #pragma omp simd (+ kernel splitting where it
+// helps); manual = the portable SIMD library, including its vector exp.
+#pragma once
+
+#include "pk/pk.hpp"
+
+namespace vpic::kernels {
+
+using pk::index_t;
+
+enum class Strategy : std::uint8_t { Auto, Guided, Manual };
+
+inline const char* to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::Auto:
+      return "auto";
+    case Strategy::Guided:
+      return "guided";
+    case Strategy::Manual:
+      return "manual";
+  }
+  return "?";
+}
+
+// y += a*x
+void axpy(Strategy s, double a, const pk::View<double, 1>& x,
+          pk::View<double, 1>& y);
+
+// y = u / (exp(x/v) - 1)
+void planckian(Strategy s, const pk::View<double, 1>& x,
+               const pk::View<double, 1>& v, const pk::View<double, 1>& u,
+               pk::View<double, 1>& y);
+
+// midpoint-rule quadrature of 4/(1+t^2) on [0,1] (= pi)
+double pi_reduce(Strategy s, index_t n);
+
+}  // namespace vpic::kernels

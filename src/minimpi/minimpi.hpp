@@ -1,0 +1,218 @@
+// minimpi/minimpi.hpp
+//
+// In-process message-passing substrate standing in for MPI. VPIC's
+// communication pattern (paper Section 2.1) is non-blocking point-to-point
+// with up to six neighbors plus small collectives; minimpi provides exactly
+// that surface — ranks as threads, typed nonblocking send/recv with tag
+// matching, barrier, allreduce — so the PIC engine's halo and particle
+// exchange run and are testable without an MPI installation. The 512-GPU
+// scaling *curves* use the analytic alpha-beta model in gpusim instead
+// (see DESIGN.md substitution table); minimpi is for functional
+// correctness at small rank counts.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "minimpi/world_detail.hpp"
+
+namespace vpic::mpi {
+
+enum class ReduceOp : std::uint8_t { Sum, Min, Max };
+
+class World;
+
+/// Handle to a pending nonblocking operation. Sends complete immediately
+/// (buffered semantics, like small-message MPI_Isend); receives complete
+/// when a matching message arrives.
+class Request {
+ public:
+  Request() = default;
+
+  /// Block until the operation is complete (MPI_Wait).
+  void wait();
+
+  [[nodiscard]] bool test();
+
+ private:
+  friend class Comm;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Per-rank communicator handle. Copyable; all copies refer to the shared
+/// world.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Nonblocking typed send: the data is copied out immediately.
+  template <class T>
+  Request isend(int dest, int tag, std::span<const T> data) {
+    return isend_bytes(dest, tag, data.data(),
+                       data.size_bytes());
+  }
+  template <class T>
+  Request isend(int dest, int tag, const T& scalar) {
+    return isend_bytes(dest, tag, &scalar, sizeof(T));
+  }
+
+  /// Nonblocking typed receive into caller storage. The span must stay
+  /// alive until wait(). The matching message's size must not exceed the
+  /// buffer; the actual element count is available via Request after wait
+  /// is not needed here — VPIC-style exchanges pre-agree sizes or send a
+  /// count message first.
+  template <class T>
+  Request irecv(int src, int tag, std::span<T> data) {
+    return irecv_bytes(src, tag, data.data(), data.size_bytes());
+  }
+  template <class T>
+  Request irecv(int src, int tag, T& scalar) {
+    return irecv_bytes(src, tag, &scalar, sizeof(T));
+  }
+
+  /// Blocking probe: byte size of the next message from (src, tag).
+  std::size_t probe_bytes(int src, int tag);
+
+  void barrier();
+
+  /// In-place allreduce over `n` elements.
+  template <class T>
+  void allreduce(T* data, std::size_t n, ReduceOp op);
+
+  template <class T>
+  T allreduce(T value, ReduceOp op) {
+    allreduce(&value, 1, op);
+    return value;
+  }
+
+  /// Broadcast `n` elements from `root` to all ranks (MPI_Bcast).
+  template <class T>
+  void bcast(T* data, std::size_t n, int root);
+
+  /// Gather each rank's `n` elements to `root` in rank order (MPI_Gather).
+  /// Non-root ranks return an empty vector.
+  template <class T>
+  std::vector<T> gather(const T* data, std::size_t n, int root);
+
+ private:
+  friend class World;
+  friend void run(int, const std::function<void(Comm&)>&);
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  Request isend_bytes(int dest, int tag, const void* data, std::size_t bytes);
+  Request irecv_bytes(int src, int tag, void* data, std::size_t bytes);
+
+  World* world_ = nullptr;
+  int rank_ = -1;
+};
+
+/// Run `fn(comm)` on `nranks` rank-threads and join them. Exceptions thrown
+/// by a rank are rethrown (first one wins) after all ranks exit.
+void run(int nranks, const std::function<void(Comm&)>& fn);
+
+namespace detail {
+// Reserved tags for the header-implemented collectives; user tags should
+// stay below this range.
+constexpr int kBcastTag = 0x7f000001;
+constexpr int kGatherTag = 0x7f000002;
+}  // namespace detail
+
+template <class T>
+void Comm::bcast(T* data, std::size_t n, int root) {
+  if (rank() == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root)
+        isend(r, detail::kBcastTag, std::span<const T>(data, n));
+  } else {
+    irecv(root, detail::kBcastTag, std::span<T>(data, n)).wait();
+  }
+  barrier();  // collectives are synchronizing, like their MPI namesakes
+}
+
+template <class T>
+std::vector<T> Comm::gather(const T* data, std::size_t n, int root) {
+  std::vector<T> out;
+  if (rank() == root) {
+    out.resize(n * static_cast<std::size_t>(size()));
+    std::copy(data, data + n,
+              out.begin() + static_cast<std::ptrdiff_t>(n) * root);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      irecv(r, detail::kGatherTag,
+            std::span<T>(out.data() + n * static_cast<std::size_t>(r), n))
+          .wait();
+    }
+  } else {
+    isend(root, detail::kGatherTag, std::span<const T>(data, n));
+  }
+  barrier();
+  return out;
+}
+
+// Template implementation of allreduce (requires world internals).
+template <class T>
+void Comm::allreduce(T* data, std::size_t n, ReduceOp op) {
+  detail::set_reduce_slot(world_, rank_, data, n * sizeof(T));
+  barrier();
+  std::vector<T> acc(data, data + n);
+  const int nr = size();
+  for (int r = 0; r < nr; ++r) {
+    if (r == rank_) continue;
+    const T* other = static_cast<const T*>(detail::get_reduce_slot(world_, r));
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (op) {
+        case ReduceOp::Sum:
+          acc[i] += other[i];
+          break;
+        case ReduceOp::Min:
+          acc[i] = other[i] < acc[i] ? other[i] : acc[i];
+          break;
+        case ReduceOp::Max:
+          acc[i] = other[i] > acc[i] ? other[i] : acc[i];
+          break;
+      }
+    }
+  }
+  barrier();  // everyone has read all slots; safe to overwrite
+  std::memcpy(data, acc.data(), n * sizeof(T));
+  barrier();  // slots reusable for the next collective
+}
+
+// ----------------------------------------------------------------------
+// Cartesian topology helpers (MPI_Cart_* equivalents for 3-D grids).
+// ----------------------------------------------------------------------
+
+struct CartTopology {
+  int dims[3] = {1, 1, 1};
+  bool periodic[3] = {true, true, true};
+
+  [[nodiscard]] int nranks() const noexcept {
+    return dims[0] * dims[1] * dims[2];
+  }
+  [[nodiscard]] int rank_of(int cx, int cy, int cz) const noexcept {
+    return (cz * dims[1] + cy) * dims[0] + cx;
+  }
+  void coords_of(int rank, int& cx, int& cy, int& cz) const noexcept {
+    cx = rank % dims[0];
+    cy = (rank / dims[0]) % dims[1];
+    cz = rank / (dims[0] * dims[1]);
+  }
+  /// Neighbor in axis (0..2), direction -1/+1; -1 if non-periodic edge.
+  [[nodiscard]] int neighbor(int rank, int axis, int dir) const noexcept;
+};
+
+/// Balanced factorization of nranks into 3 dims (MPI_Dims_create).
+CartTopology make_cart(int nranks, bool periodic = true);
+
+}  // namespace vpic::mpi

@@ -1,0 +1,25 @@
+// minimpi/world_detail.hpp
+//
+// Shared-world internals used by the header-template parts of minimpi
+// (allreduce). Not part of the public API.
+#pragma once
+
+#include <cstddef>
+
+namespace vpic::mpi {
+
+class World;
+
+namespace detail {
+
+/// Copy a rank's allreduce contribution into its world slot.
+void set_reduce_slot(World* w, int rank, const void* data, std::size_t bytes);
+
+/// Read another rank's contribution (valid between the two barriers of an
+/// allreduce).
+const void* get_reduce_slot(World* w, int rank);
+
+int world_size(const World* w);
+
+}  // namespace detail
+}  // namespace vpic::mpi

@@ -1,0 +1,81 @@
+// pk/atomic.hpp
+//
+// Portable atomic operations over raw view storage, mirroring
+// Kokkos::atomic_*. The sorting algorithms (Alg. 1 line 5, Alg. 2 lines
+// 5/12) and the current-deposition scatter phase of the particle push are
+// the two heavy users; atomic contention under repeated keys is one of the
+// central effects the paper measures (Figures 5b/6b).
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+
+#include "pk/config.hpp"
+
+namespace vpic::pk {
+
+template <class T>
+PK_INLINE T atomic_fetch_add(T* addr, T val) noexcept {
+  if constexpr (std::is_integral_v<T>) {
+    return std::atomic_ref<T>(*addr).fetch_add(val,
+                                               std::memory_order_relaxed);
+  } else {
+    // Floating point: CAS loop (std::atomic_ref<float>::fetch_add is C++26).
+    std::atomic_ref<T> ref(*addr);
+    T expected = ref.load(std::memory_order_relaxed);
+    while (!ref.compare_exchange_weak(expected, expected + val,
+                                      std::memory_order_relaxed)) {
+    }
+    return expected;
+  }
+}
+
+template <class T>
+PK_INLINE void atomic_add(T* addr, T val) noexcept {
+  (void)atomic_fetch_add(addr, val);
+}
+
+template <class T>
+PK_INLINE void atomic_inc(T* addr) noexcept {
+  static_assert(std::is_integral_v<T>);
+  std::atomic_ref<T>(*addr).fetch_add(T{1}, std::memory_order_relaxed);
+}
+
+template <class T>
+PK_INLINE T atomic_load(const T* addr) noexcept {
+  return std::atomic_ref<T>(*const_cast<T*>(addr))
+      .load(std::memory_order_relaxed);
+}
+
+template <class T>
+PK_INLINE void atomic_store(T* addr, T val) noexcept {
+  std::atomic_ref<T>(*addr).store(val, std::memory_order_relaxed);
+}
+
+template <class T>
+PK_INLINE bool atomic_compare_exchange(T* addr, T& expected, T desired) noexcept {
+  return std::atomic_ref<T>(*addr).compare_exchange_strong(
+      expected, desired, std::memory_order_relaxed);
+}
+
+template <class T>
+PK_INLINE T atomic_fetch_max(T* addr, T val) noexcept {
+  std::atomic_ref<T> ref(*addr);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (cur < val &&
+         !ref.compare_exchange_weak(cur, val, std::memory_order_relaxed)) {
+  }
+  return cur;
+}
+
+template <class T>
+PK_INLINE T atomic_fetch_min(T* addr, T val) noexcept {
+  std::atomic_ref<T> ref(*addr);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (val < cur &&
+         !ref.compare_exchange_weak(cur, val, std::memory_order_relaxed)) {
+  }
+  return cur;
+}
+
+}  // namespace vpic::pk

@@ -1,0 +1,39 @@
+#include "pk/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace vpic::pk {
+
+namespace {
+int g_threads = 0;  // 0 = uninitialized
+}
+
+int concurrency() noexcept {
+#if PK_HAVE_OPENMP
+  return omp_get_max_threads();
+#else
+  return std::max(1u, std::thread::hardware_concurrency());
+#endif
+}
+
+void initialize() noexcept {
+  if (g_threads > 0) return;
+  // Honor OMP_NUM_THREADS if set; else use all hardware threads.
+  const char* env = std::getenv("OMP_NUM_THREADS");
+  int nt = env ? std::atoi(env) : 0;
+  if (nt <= 0) nt = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  initialize(nt);
+}
+
+void initialize(int num_threads) noexcept {
+  g_threads = std::max(1, num_threads);
+#if PK_HAVE_OPENMP
+  omp_set_num_threads(g_threads);
+#endif
+}
+
+void finalize() noexcept { g_threads = 0; }
+
+}  // namespace vpic::pk

@@ -1,0 +1,222 @@
+// pk/parallel.hpp
+//
+// parallel_for / parallel_reduce / parallel_scan dispatch, modeled on
+// Kokkos. The Serial and OpenMP backends share kernel code; the policy's
+// execution_space tag selects the backend at compile time. Range kernels
+// internally mark the iteration loop with PK_IVDEP, matching the paper's
+// description of Kokkos' internal "#pragma ivdep" (Section 4.2) — this is
+// precisely the "auto vectorization" baseline of the vectorization study.
+#pragma once
+
+#include <type_traits>
+#include <vector>
+
+#include "pk/execution.hpp"
+#include "pk/reducers.hpp"
+
+namespace vpic::pk {
+
+// ----------------------------------------------------------------------
+// parallel_for: 1-D range
+// ----------------------------------------------------------------------
+
+template <class Functor>
+void parallel_for(const RangePolicy<Serial>& p, const Functor& f) {
+  PK_IVDEP
+  for (index_t i = p.begin; i < p.end; ++i) f(i);
+}
+
+template <class Functor>
+void parallel_for(const RangePolicy<OpenMP>& p, const Functor& f) {
+#if PK_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+  for (index_t i = p.begin; i < p.end; ++i) f(i);
+#else
+  PK_IVDEP
+  for (index_t i = p.begin; i < p.end; ++i) f(i);
+#endif
+}
+
+/// Convenience overload: parallel_for(n, f) on the default space.
+template <class Functor>
+void parallel_for(index_t n, const Functor& f) {
+  parallel_for(RangePolicy<DefaultExecSpace>(n), f);
+}
+
+// ----------------------------------------------------------------------
+// parallel_for: 2-D MD range
+// ----------------------------------------------------------------------
+
+template <class Functor>
+void parallel_for(const MDRangePolicy2<Serial>& p, const Functor& f) {
+  for (index_t i = p.begin0; i < p.end0; ++i)
+    for (index_t j = p.begin1; j < p.end1; ++j) f(i, j);
+}
+
+template <class Functor>
+void parallel_for(const MDRangePolicy2<OpenMP>& p, const Functor& f) {
+#if PK_HAVE_OPENMP
+#pragma omp parallel for collapse(2) schedule(static)
+  for (index_t i = p.begin0; i < p.end0; ++i)
+    for (index_t j = p.begin1; j < p.end1; ++j) f(i, j);
+#else
+  for (index_t i = p.begin0; i < p.end0; ++i)
+    for (index_t j = p.begin1; j < p.end1; ++j) f(i, j);
+#endif
+}
+
+// ----------------------------------------------------------------------
+// parallel_for: 3-D MD range
+// ----------------------------------------------------------------------
+
+template <class Functor>
+void parallel_for(const MDRangePolicy3<Serial>& p, const Functor& f) {
+  for (index_t i = p.begin0; i < p.end0; ++i)
+    for (index_t j = p.begin1; j < p.end1; ++j)
+      for (index_t k = p.begin2; k < p.end2; ++k) f(i, j, k);
+}
+
+template <class Functor>
+void parallel_for(const MDRangePolicy3<OpenMP>& p, const Functor& f) {
+#if PK_HAVE_OPENMP
+#pragma omp parallel for collapse(2) schedule(static)
+  for (index_t i = p.begin0; i < p.end0; ++i)
+    for (index_t j = p.begin1; j < p.end1; ++j)
+      for (index_t k = p.begin2; k < p.end2; ++k) f(i, j, k);
+#else
+  for (index_t i = p.begin0; i < p.end0; ++i)
+    for (index_t j = p.begin1; j < p.end1; ++j)
+      for (index_t k = p.begin2; k < p.end2; ++k) f(i, j, k);
+#endif
+}
+
+// ----------------------------------------------------------------------
+// parallel_for: hierarchical (team) policies
+// ----------------------------------------------------------------------
+
+template <class Functor>
+void parallel_for(const TeamPolicy<Serial>& p, const Functor& f) {
+  for (index_t lr = 0; lr < p.league_size; ++lr)
+    f(TeamMember(lr, p.league_size, 0, 1));
+}
+
+template <class Functor>
+void parallel_for(const TeamPolicy<OpenMP>& p, const Functor& f) {
+#if PK_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 1)
+  for (index_t lr = 0; lr < p.league_size; ++lr)
+    f(TeamMember(lr, p.league_size, 0, 1));
+#else
+  for (index_t lr = 0; lr < p.league_size; ++lr)
+    f(TeamMember(lr, p.league_size, 0, 1));
+#endif
+}
+
+/// Nested team-thread loop (host teams are one thread: plain loop).
+template <class Functor>
+PK_INLINE void parallel_for(const TeamThreadRange& r, const Functor& f) {
+  for (index_t i = r.begin; i < r.end; ++i) f(i);
+}
+
+/// Innermost vector loop: marked ivdep so the backend's auto-vectorizer
+/// treats it exactly like Kokkos ThreadVectorRange on a CPU backend.
+template <class Functor>
+PK_INLINE void parallel_for(const ThreadVectorRange& r, const Functor& f) {
+  PK_IVDEP
+  for (index_t i = r.begin; i < r.end; ++i) f(i);
+}
+
+// ----------------------------------------------------------------------
+// parallel_reduce
+// ----------------------------------------------------------------------
+
+template <class Reducer, class Functor>
+void parallel_reduce(const RangePolicy<Serial>& p, const Functor& f,
+                     typename Reducer::value_type& result) {
+  auto acc = Reducer::identity();
+  for (index_t i = p.begin; i < p.end; ++i) f(i, acc);
+  result = acc;
+}
+
+template <class Reducer, class Functor>
+void parallel_reduce(const RangePolicy<OpenMP>& p, const Functor& f,
+                     typename Reducer::value_type& result) {
+#if PK_HAVE_OPENMP
+  const int nt = OpenMP::concurrency();
+  std::vector<typename Reducer::value_type> partial(
+      static_cast<std::size_t>(nt), Reducer::identity());
+#pragma omp parallel
+  {
+    const int tid = omp_get_thread_num();
+    auto acc = Reducer::identity();
+#pragma omp for schedule(static) nowait
+    for (index_t i = p.begin; i < p.end; ++i) f(i, acc);
+    partial[static_cast<std::size_t>(tid)] = acc;
+  }
+  auto total = Reducer::identity();
+  for (const auto& v : partial) Reducer::join(total, v);
+  result = total;
+#else
+  parallel_reduce<Reducer>(RangePolicy<Serial>(p.begin, p.end), f, result);
+#endif
+}
+
+/// Sum-reduction convenience, mirroring Kokkos' default reducer.
+template <class ExecSpace, class Functor, class T>
+void parallel_reduce(const RangePolicy<ExecSpace>& p, const Functor& f,
+                     T& result) {
+  parallel_reduce<Sum<T>>(p, f, result);
+}
+
+template <class Functor, class T>
+void parallel_reduce(index_t n, const Functor& f, T& result) {
+  parallel_reduce<Sum<T>>(RangePolicy<DefaultExecSpace>(n), f, result);
+}
+
+// ----------------------------------------------------------------------
+// parallel_scan (exclusive prefix sum; functor form and array form)
+// ----------------------------------------------------------------------
+
+/// Kokkos-style scan functor contract: f(i, partial, final_pass).
+template <class Functor, class T>
+void parallel_scan(const RangePolicy<Serial>& p, const Functor& f, T& total) {
+  T acc{};
+  for (index_t i = p.begin; i < p.end; ++i) f(i, acc, true);
+  total = acc;
+}
+
+template <class Functor, class T>
+void parallel_scan(const RangePolicy<OpenMP>& p, const Functor& f, T& total) {
+#if PK_HAVE_OPENMP
+  const int nt = OpenMP::concurrency();
+  const index_t n = p.count();
+  if (n == 0) {
+    total = T{};
+    return;
+  }
+  std::vector<T> chunk_sum(static_cast<std::size_t>(nt) + 1, T{});
+#pragma omp parallel
+  {
+    const int tid = omp_get_thread_num();
+    const index_t lo = p.begin + n * tid / nt;
+    const index_t hi = p.begin + n * (tid + 1) / nt;
+    T acc{};
+    for (index_t i = lo; i < hi; ++i) f(i, acc, false);
+    chunk_sum[static_cast<std::size_t>(tid) + 1] = acc;
+#pragma omp barrier
+#pragma omp single
+    {
+      for (int t = 1; t <= nt; ++t)
+        chunk_sum[static_cast<std::size_t>(t)] +=
+            chunk_sum[static_cast<std::size_t>(t) - 1];
+    }
+    T acc2 = chunk_sum[static_cast<std::size_t>(tid)];
+    for (index_t i = lo; i < hi; ++i) f(i, acc2, true);
+  }
+  total = chunk_sum[static_cast<std::size_t>(nt)];
+#else
+  parallel_scan(RangePolicy<Serial>(p.begin, p.end), f, total);
+#endif
+}
+
+}  // namespace vpic::pk

@@ -1,0 +1,68 @@
+// pk/reducers.hpp
+//
+// Reduction identities/joins mirroring Kokkos' reducer concept. Used by
+// pk::parallel_reduce. MinMax is what the sorting library uses to find key
+// bounds (Algorithms 1 and 2, line 2: (max_k, min_k) <- MINMAX(keys)).
+#pragma once
+
+#include <limits>
+
+#include "pk/config.hpp"
+
+namespace vpic::pk {
+
+template <class T>
+struct Sum {
+  using value_type = T;
+  static constexpr T identity() noexcept { return T{}; }
+  static PK_INLINE void join(T& dst, const T& src) noexcept { dst += src; }
+};
+
+template <class T>
+struct Prod {
+  using value_type = T;
+  static constexpr T identity() noexcept { return T{1}; }
+  static PK_INLINE void join(T& dst, const T& src) noexcept { dst *= src; }
+};
+
+template <class T>
+struct Min {
+  using value_type = T;
+  static constexpr T identity() noexcept {
+    return std::numeric_limits<T>::max();
+  }
+  static PK_INLINE void join(T& dst, const T& src) noexcept {
+    if (src < dst) dst = src;
+  }
+};
+
+template <class T>
+struct Max {
+  using value_type = T;
+  static constexpr T identity() noexcept {
+    return std::numeric_limits<T>::lowest();
+  }
+  static PK_INLINE void join(T& dst, const T& src) noexcept {
+    if (src > dst) dst = src;
+  }
+};
+
+template <class T>
+struct MinMaxValue {
+  T min_val;
+  T max_val;
+};
+
+template <class T>
+struct MinMax {
+  using value_type = MinMaxValue<T>;
+  static constexpr value_type identity() noexcept {
+    return {std::numeric_limits<T>::max(), std::numeric_limits<T>::lowest()};
+  }
+  static PK_INLINE void join(value_type& dst, const value_type& src) noexcept {
+    if (src.min_val < dst.min_val) dst.min_val = src.min_val;
+    if (src.max_val > dst.max_val) dst.max_val = src.max_val;
+  }
+};
+
+}  // namespace vpic::pk

@@ -1,0 +1,24 @@
+// pk/timer.hpp — wall-clock timer (mirrors Kokkos::Timer).
+#pragma once
+
+#include <chrono>
+
+namespace vpic::pk {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace vpic::pk

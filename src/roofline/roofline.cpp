@@ -1,0 +1,50 @@
+#include "roofline/roofline.hpp"
+
+#include <cstdio>
+
+namespace vpic::roofline {
+
+RooflinePoint analyze(const gpusim::DeviceSpec& dev,
+                      const gpusim::KernelProfile& profile,
+                      std::string label) {
+  const gpusim::KernelTiming t = gpusim::time_kernel(dev, profile);
+  RooflinePoint pt;
+  pt.label = std::move(label);
+  pt.ai = t.ai;
+  pt.gflops = t.gflops;
+  pt.attainable_gflops = gpusim::roofline_attainable_gflops(dev, t.ai);
+  pt.pct_peak = t.pct_peak;
+  pt.utilization =
+      pt.attainable_gflops > 0 ? pt.gflops / pt.attainable_gflops : 0.0;
+  pt.bound = t.bound;
+  return pt;
+}
+
+double ridge_ai(const gpusim::DeviceSpec& dev) {
+  return dev.dram_bw_gbs > 0 ? dev.peak_fp32_gflops / dev.dram_bw_gbs : 0.0;
+}
+
+std::string format_report(const gpusim::DeviceSpec& dev,
+                          const std::vector<RooflinePoint>& points) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s roofline: peak %.1f TFLOP/s (FP32), DRAM %.0f GB/s, "
+                "ridge AI %.1f FLOP/B\n",
+                dev.name.c_str(), dev.peak_fp32_gflops / 1e3,
+                dev.dram_bw_gbs, ridge_ai(dev));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  %-16s %8s %12s %12s %8s %10s\n",
+                "kernel", "AI", "GFLOP/s", "attainable", "%peak", "bound");
+  out += buf;
+  for (const auto& p : points) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-16s %8.2f %12.1f %12.1f %7.2f%% %10s\n",
+                  p.label.c_str(), p.ai, p.gflops, p.attainable_gflops,
+                  p.pct_peak, gpusim::to_string(p.bound));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace vpic::roofline

@@ -1,0 +1,39 @@
+// roofline/roofline.hpp
+//
+// Roofline analysis (Section 5.4, Fig. 8): arithmetic intensity and
+// achieved-vs-attainable throughput per kernel, computed from the same
+// counters the paper extracts with nsight-compute / rocprof-compute —
+// here taken from the analytic model's KernelProfile.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/kernel_model.hpp"
+
+namespace vpic::roofline {
+
+struct RooflinePoint {
+  std::string label;
+  double ai = 0;               // FLOP / DRAM byte
+  double gflops = 0;           // achieved
+  double attainable_gflops = 0;
+  double pct_peak = 0;
+  double utilization = 0;      // achieved / attainable at this AI
+  gpusim::Bound bound = gpusim::Bound::Dram;
+};
+
+/// Place one kernel on a device's roofline.
+RooflinePoint analyze(const gpusim::DeviceSpec& dev,
+                      const gpusim::KernelProfile& profile,
+                      std::string label);
+
+/// The memory/compute ridge point (AI where the roofs meet).
+double ridge_ai(const gpusim::DeviceSpec& dev);
+
+/// Multi-line text report: the device's roofs plus each kernel point.
+std::string format_report(const gpusim::DeviceSpec& dev,
+                          const std::vector<RooflinePoint>& points);
+
+}  // namespace vpic::roofline

@@ -1,0 +1,7 @@
+// simd/simd.hpp — umbrella header for the portable SIMD library.
+#pragma once
+
+#include "simd/abi.hpp"
+#include "simd/math.hpp"
+#include "simd/transpose.hpp"
+#include "simd/vec.hpp"

@@ -1,0 +1,279 @@
+// simd/vec.hpp
+//
+// simd<T, W> and simd_mask<T, W>: the value types of the manual
+// vectorization strategy. API follows the C++26 std::simd shape that
+// KokkosSIMD implements (broadcast construction, copy_from/copy_to,
+// operator overloads, masks from comparisons, where()-style blending,
+// lane reductions, gathers/scatters).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "simd/abi.hpp"
+
+namespace vpic::simd {
+
+template <class T, int W>
+class simd_mask;
+
+template <class T, int W = native_width<T>()>
+class simd {
+ public:
+  using value_type = T;
+  using storage_type = typename vec_storage<T, W>::type;
+  using mask_type = simd_mask<T, W>;
+  static constexpr int size() noexcept { return W; }
+
+  simd() : v_{} {}
+
+  /// Broadcast.
+  simd(T scalar) {  // NOLINT(google-explicit-constructor): std::simd allows it
+    if constexpr (W == 1) {
+      v_ = scalar;
+    } else {
+      for (int i = 0; i < W; ++i) v_[i] = scalar;
+    }
+  }
+
+  // Raw-storage constructor; suppressed for W == 1 where storage_type
+  // would collide with the broadcast constructor.
+  template <int WW = W, class = std::enable_if_t<WW != 1>>
+  explicit simd(storage_type raw) : v_(raw) {}
+
+  /// Lane-index generator: {f(0), f(1), ..., f(W-1)}.
+  template <class Gen,
+            class = decltype(std::declval<Gen>()(0))>
+  explicit simd(const Gen& gen) {
+    if constexpr (W == 1) {
+      v_ = gen(0);
+    } else {
+      for (int i = 0; i < W; ++i) v_[i] = gen(i);
+    }
+  }
+
+  /// {0, 1, 2, ...} ascending lane ids.
+  static simd iota(T start = T{0}) {
+    simd r;
+    for (int i = 0; i < W; ++i) r.set(i, start + static_cast<T>(i));
+    return r;
+  }
+
+  static simd load(const T* p) {
+    simd r;
+    std::memcpy(&r.v_, p, sizeof(storage_type));
+    return r;
+  }
+
+  void store(T* p) const { std::memcpy(p, &v_, sizeof(storage_type)); }
+
+  /// std::simd-style spellings.
+  void copy_from(const T* p) { *this = load(p); }
+  void copy_to(T* p) const { store(p); }
+
+  template <class I>
+  static simd gather(const T* base, const simd<I, W>& idx) {
+    simd r;
+    for (int i = 0; i < W; ++i)
+      r.set(i, base[static_cast<std::size_t>(idx[i])]);
+    return r;
+  }
+
+  template <class I>
+  void scatter(T* base, const simd<I, W>& idx) const {
+    for (int i = 0; i < W; ++i)
+      base[static_cast<std::size_t>(idx[i])] = (*this)[i];
+  }
+
+  [[nodiscard]] T operator[](int lane) const {
+    assert(lane >= 0 && lane < W);
+    if constexpr (W == 1)
+      return v_;
+    else
+      return v_[lane];
+  }
+
+  void set(int lane, T val) {
+    assert(lane >= 0 && lane < W);
+    if constexpr (W == 1)
+      v_ = val;
+    else
+      v_[lane] = val;
+  }
+
+  [[nodiscard]] storage_type raw() const noexcept { return v_; }
+
+  // Arithmetic (elementwise; GCC lowers vector-extension ops natively).
+  friend simd operator+(simd a, simd b) { return simd(a.v_ + b.v_); }
+  friend simd operator-(simd a, simd b) { return simd(a.v_ - b.v_); }
+  friend simd operator*(simd a, simd b) { return simd(a.v_ * b.v_); }
+  friend simd operator/(simd a, simd b) { return simd(a.v_ / b.v_); }
+  simd operator-() const { return simd(-v_); }
+  simd& operator+=(simd o) {
+    v_ += o.v_;
+    return *this;
+  }
+  simd& operator-=(simd o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  simd& operator*=(simd o) {
+    v_ *= o.v_;
+    return *this;
+  }
+  simd& operator/=(simd o) {
+    v_ /= o.v_;
+    return *this;
+  }
+
+  // Comparisons -> masks.
+  friend mask_type operator<(simd a, simd b) { return cmp(a.v_ < b.v_); }
+  friend mask_type operator<=(simd a, simd b) { return cmp(a.v_ <= b.v_); }
+  friend mask_type operator>(simd a, simd b) { return cmp(a.v_ > b.v_); }
+  friend mask_type operator>=(simd a, simd b) { return cmp(a.v_ >= b.v_); }
+  friend mask_type operator==(simd a, simd b) { return cmp(a.v_ == b.v_); }
+  friend mask_type operator!=(simd a, simd b) { return cmp(a.v_ != b.v_); }
+
+  [[nodiscard]] T reduce_sum() const {
+    T acc{};
+    for (int i = 0; i < W; ++i) acc += (*this)[i];
+    return acc;
+  }
+  [[nodiscard]] T reduce_min() const {
+    T acc = (*this)[0];
+    for (int i = 1; i < W; ++i) acc = (*this)[i] < acc ? (*this)[i] : acc;
+    return acc;
+  }
+  [[nodiscard]] T reduce_max() const {
+    T acc = (*this)[0];
+    for (int i = 1; i < W; ++i) acc = (*this)[i] > acc ? (*this)[i] : acc;
+    return acc;
+  }
+
+ private:
+  static mask_type cmp(typename simd_mask<T, W>::storage_type raw) {
+    return mask_type(raw);
+  }
+  template <class, int>
+  friend class simd;
+
+  storage_type v_;
+};
+
+template <class T, int W = native_width<T>()>
+class simd_mask {
+ public:
+  using element_type = mask_element_t<T>;
+  using storage_type = typename vec_storage<element_type, W>::type;
+  static constexpr int size() noexcept { return W; }
+
+  simd_mask() : m_{} {}
+  explicit simd_mask(bool broadcast) {
+    const element_type fill = broadcast ? element_type(-1) : element_type(0);
+    if constexpr (W == 1) {
+      m_ = fill;
+    } else {
+      for (int i = 0; i < W; ++i) m_[i] = fill;
+    }
+  }
+  explicit simd_mask(storage_type raw) : m_(raw) {}
+
+  [[nodiscard]] bool operator[](int lane) const {
+    if constexpr (W == 1)
+      return m_ != 0;
+    else
+      return m_[lane] != 0;
+  }
+
+  void set(int lane, bool val) {
+    const element_type fill = val ? element_type(-1) : element_type(0);
+    if constexpr (W == 1)
+      m_ = fill;
+    else
+      m_[lane] = fill;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (int i = 0; i < W; ++i)
+      if ((*this)[i]) return true;
+    return false;
+  }
+  [[nodiscard]] bool all() const {
+    for (int i = 0; i < W; ++i)
+      if (!(*this)[i]) return false;
+    return true;
+  }
+  [[nodiscard]] bool none() const { return !any(); }
+  [[nodiscard]] int count() const {
+    int c = 0;
+    for (int i = 0; i < W; ++i) c += (*this)[i] ? 1 : 0;
+    return c;
+  }
+
+  friend simd_mask operator&&(simd_mask a, simd_mask b) {
+    return simd_mask(a.m_ & b.m_);
+  }
+  friend simd_mask operator||(simd_mask a, simd_mask b) {
+    return simd_mask(a.m_ | b.m_);
+  }
+  simd_mask operator!() const { return simd_mask(~m_); }
+
+  [[nodiscard]] storage_type raw() const noexcept { return m_; }
+
+ private:
+  storage_type m_;
+};
+
+/// Blend: lanes from `a` where mask is set, else `b` (std::simd_select).
+template <class T, int W>
+simd<T, W> select(const simd_mask<T, W>& m, const simd<T, W>& a,
+                  const simd<T, W>& b) {
+  if constexpr (W == 1) {
+    return m[0] ? a : b;
+  } else {
+    // GCC vector ternary performs an elementwise blend.
+    return simd<T, W>(m.raw() ? a.raw() : b.raw());
+  }
+}
+
+/// where(mask, v) += / = ... masked-assignment helper (std::simd where()).
+template <class T, int W>
+class where_expression {
+ public:
+  where_expression(const simd_mask<T, W>& m, simd<T, W>& v) : m_(m), v_(v) {}
+  void operator=(const simd<T, W>& o) { v_ = select(m_, o, v_); }
+  void operator+=(const simd<T, W>& o) { v_ = select(m_, v_ + o, v_); }
+  void operator-=(const simd<T, W>& o) { v_ = select(m_, v_ - o, v_); }
+  void operator*=(const simd<T, W>& o) { v_ = select(m_, v_ * o, v_); }
+
+ private:
+  simd_mask<T, W> m_;
+  simd<T, W>& v_;
+};
+
+template <class T, int W>
+where_expression<T, W> where(const simd_mask<T, W>& m, simd<T, W>& v) {
+  return where_expression<T, W>(m, v);
+}
+
+template <class T, int W>
+simd<T, W> min(const simd<T, W>& a, const simd<T, W>& b) {
+  return select(a < b, a, b);
+}
+
+template <class T, int W>
+simd<T, W> max(const simd<T, W>& a, const simd<T, W>& b) {
+  return select(a > b, a, b);
+}
+
+/// Fused multiply-add a*b + c. GCC contracts the vector expression into FMA
+/// under -ffp-contract=fast, matching what the ad hoc library spells as an
+/// intrinsic.
+template <class T, int W>
+simd<T, W> fma(const simd<T, W>& a, const simd<T, W>& b,
+               const simd<T, W>& c) {
+  return a * b + c;
+}
+
+}  // namespace vpic::simd

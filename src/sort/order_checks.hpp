@@ -1,0 +1,100 @@
+// sort/order_checks.hpp
+//
+// Predicates characterizing the orders the sorting algorithms must
+// produce. Used by the property-based tests: every sorter run must satisfy
+// (a) permutation-of-input and (b) its order invariant.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "pk/pk.hpp"
+
+namespace vpic::sort {
+
+using pk::index_t;
+
+/// Ascending (standard classification) check.
+template <class K>
+bool is_sorted_ascending(const pk::View<K, 1>& keys) {
+  for (index_t i = 1; i < keys.size(); ++i)
+    if (keys(i) < keys(i - 1)) return false;
+  return true;
+}
+
+/// Strided-order check (Algorithm 1 postcondition). The rewritten keys
+/// sort into blocks by occurrence index, so the output decomposes into
+/// consecutive strictly-increasing runs where the k-th occurrence of every
+/// key lies in run k: run 0 holds every distinct key once (ascending),
+/// run 1 every key with multiplicity >= 2, and so on.
+template <class K>
+bool is_strided_order(const pk::View<K, 1>& keys) {
+  const index_t n = keys.size();
+  if (n <= 1) return true;
+  K max_k = 0;
+  for (index_t i = 0; i < n; ++i) max_k = std::max(max_k, keys(i));
+  std::vector<index_t> occurrence(static_cast<std::size_t>(max_k) + 1, 0);
+
+  index_t run = 0;
+  for (index_t i = 0; i < n; ++i) {
+    if (i > 0 && keys(i) <= keys(i - 1)) ++run;  // new monotonic run
+    auto& occ = occurrence[static_cast<std::size_t>(keys(i))];
+    if (occ != run) return false;  // k-th occurrence must be in run k
+    ++occ;
+  }
+  return true;
+}
+
+/// Tiled-strided check (Algorithm 2 postcondition): within each tile of
+/// `tile_sz` slots, keys are strictly increasing and all belong to the same
+/// chunk (key / tile_sz equal); no key repeats within a tile.
+///
+/// Tiles are delimited the way the composite key lays them out: a new tile
+/// starts whenever the key does not increase, or the chunk id changes.
+template <class K>
+bool is_tiled_strided_order(const pk::View<K, 1>& keys, K tile_sz) {
+  const index_t n = keys.size();
+  if (n <= 1 || tile_sz <= 1) return true;
+  index_t tile_fill = 1;
+  for (index_t i = 1; i < n; ++i) {
+    const bool same_chunk = (keys(i) / tile_sz) == (keys(i - 1) / tile_sz);
+    const bool increasing = keys(i) > keys(i - 1);
+    if (same_chunk && increasing) {
+      if (++tile_fill > static_cast<index_t>(tile_sz)) return false;
+    } else {
+      // Tile boundary. Chunks must be non-decreasing across boundaries.
+      if ((keys(i) / tile_sz) < (keys(i - 1) / tile_sz)) return false;
+      tile_fill = 1;
+    }
+  }
+  return true;
+}
+
+/// Multiset-equality: `a` is a permutation of `b`.
+template <class K>
+bool is_permutation_of(const pk::View<K, 1>& a, const pk::View<K, 1>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<K> va(a.data(), a.data() + a.size());
+  std::vector<K> vb(b.data(), b.data() + b.size());
+  std::sort(va.begin(), va.end());
+  std::sort(vb.begin(), vb.end());
+  return va == vb;
+}
+
+/// Pairing consistency: (key, value) pairs of `a` equal those of `b` as a
+/// multiset — i.e. the sorter moved keys and values together.
+template <class K, class V>
+bool pairs_preserved(const pk::View<K, 1>& ka, const pk::View<V, 1>& va,
+                     const pk::View<K, 1>& kb, const pk::View<V, 1>& vb) {
+  if (ka.size() != kb.size() || va.size() != vb.size()) return false;
+  std::vector<std::pair<K, V>> pa, pb;
+  pa.reserve(static_cast<std::size_t>(ka.size()));
+  pb.reserve(static_cast<std::size_t>(kb.size()));
+  for (index_t i = 0; i < ka.size(); ++i) pa.emplace_back(ka(i), va(i));
+  for (index_t i = 0; i < kb.size(); ++i) pb.emplace_back(kb(i), vb(i));
+  std::sort(pa.begin(), pa.end());
+  std::sort(pb.begin(), pb.end());
+  return pa == pb;
+}
+
+}  // namespace vpic::sort

@@ -1,0 +1,220 @@
+// sort/radix.hpp
+//
+// Parallel stable LSD radix sort-by-key over pk Views. This is the repo's
+// implementation of the Kokkos `sort_by_key` primitive that Algorithms 1
+// and 2 call after rewriting the keys (paper Section 4.3: "we use the
+// parallel sort_by_key function provided by Kokkos"). Stability matters:
+// the strided/tiled orders rely on ties (there are none after key
+// rewriting, but the standard sort path does have ties and its output
+// order must be deterministic for testing).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "pk/pk.hpp"
+
+namespace vpic::sort {
+
+using pk::index_t;
+
+namespace detail {
+
+/// Number of 8-bit digit passes needed to cover values <= max_key.
+template <class K>
+int passes_for(K max_key) noexcept {
+  int bits = 0;
+  while (max_key > 0) {
+    ++bits;
+    max_key = static_cast<K>(max_key >> 1);
+  }
+  return (bits + 7) / 8;
+}
+
+}  // namespace detail
+
+/// Stable LSD radix sort of (keys, values) pairs, ascending by key.
+/// K must be an unsigned integer type; V any trivially copyable type.
+/// Runs one parallel histogram + scatter per 8-bit digit, skipping digits
+/// above the maximum key.
+template <class K, class V>
+void sort_by_key(pk::View<K, 1>& keys, pk::View<V, 1>& values) {
+  static_assert(std::is_unsigned_v<K>, "radix keys must be unsigned");
+  const index_t n = keys.size();
+  if (n <= 1) return;
+
+  K max_key = 0;
+  {
+    pk::MinMaxValue<K> mm{};
+    pk::parallel_reduce<pk::MinMax<K>>(
+        pk::RangePolicy<>(n),
+        [&](index_t i, pk::MinMaxValue<K>& acc) {
+          const K k = keys(i);
+          if (k < acc.min_val) acc.min_val = k;
+          if (k > acc.max_val) acc.max_val = k;
+        },
+        mm);
+    max_key = mm.max_val;
+  }
+  const int passes = detail::passes_for(max_key);
+  if (passes == 0) return;  // all keys are zero: already sorted
+
+  pk::View<K, 1> keys_tmp("radix_keys_tmp", n);
+  pk::View<V, 1> vals_tmp("radix_vals_tmp", n);
+
+  constexpr int kRadix = 256;
+  const int nthreads = pk::DefaultExecSpace::concurrency();
+  // offsets[t][b]: running scatter position for bucket b, thread t.
+  std::vector<index_t> offsets(
+      static_cast<std::size_t>(nthreads) * kRadix, 0);
+
+  K* src_k = keys.data();
+  V* src_v = values.data();
+  K* dst_k = keys_tmp.data();
+  V* dst_v = vals_tmp.data();
+
+  for (int pass = 0; pass < passes; ++pass) {
+    const int shift = pass * 8;
+    std::fill(offsets.begin(), offsets.end(), index_t{0});
+
+#if PK_HAVE_OPENMP
+#pragma omp parallel num_threads(nthreads)
+    {
+      const int tid = omp_get_thread_num();
+      const index_t lo = n * tid / nthreads;
+      const index_t hi = n * (tid + 1) / nthreads;
+      index_t* hist = offsets.data() + static_cast<std::size_t>(tid) * kRadix;
+      for (index_t i = lo; i < hi; ++i)
+        ++hist[(src_k[i] >> shift) & 0xFF];
+#pragma omp barrier
+#pragma omp single
+      {
+        // Column-major exclusive scan over (bucket, thread) so that lower
+        // buckets come first and, within a bucket, lower thread ids first —
+        // preserving stability.
+        index_t running = 0;
+        for (int b = 0; b < kRadix; ++b) {
+          for (int t = 0; t < nthreads; ++t) {
+            index_t& cell =
+                offsets[static_cast<std::size_t>(t) * kRadix +
+                        static_cast<std::size_t>(b)];
+            const index_t count = cell;
+            cell = running;
+            running += count;
+          }
+        }
+      }
+      for (index_t i = lo; i < hi; ++i) {
+        const auto b = (src_k[i] >> shift) & 0xFF;
+        const index_t pos = hist[b]++;
+        dst_k[pos] = src_k[i];
+        dst_v[pos] = src_v[i];
+      }
+    }
+#else
+    index_t* hist = offsets.data();
+    for (index_t i = 0; i < n; ++i) ++hist[(src_k[i] >> shift) & 0xFF];
+    index_t running = 0;
+    for (int b = 0; b < kRadix; ++b) {
+      const index_t count = hist[b];
+      hist[b] = running;
+      running += count;
+    }
+    for (index_t i = 0; i < n; ++i) {
+      const auto b = (src_k[i] >> shift) & 0xFF;
+      dst_k[hist[b]] = src_k[i];
+      dst_v[hist[b]] = src_v[i];
+      ++hist[b];
+    }
+#endif
+    std::swap(src_k, dst_k);
+    std::swap(src_v, dst_v);
+  }
+
+  // After an odd number of passes the result lives in the temporaries.
+  if (src_k != keys.data()) {
+    std::memcpy(keys.data(), src_k, static_cast<std::size_t>(n) * sizeof(K));
+    std::memcpy(values.data(), src_v,
+                static_cast<std::size_t>(n) * sizeof(V));
+  }
+}
+
+/// Comparison-based stable sort_by_key (std::stable_sort over an index
+/// permutation + gather). Same contract as sort_by_key; exists as the
+/// baseline for the radix-vs-comparison ablation (DESIGN.md section 5):
+/// the O(N log N) comparison sort is what a generic Kokkos::sort falls
+/// back to when no radix specialization applies.
+template <class K, class V>
+void sort_by_key_comparison(pk::View<K, 1>& keys, pk::View<V, 1>& values) {
+  const index_t n = keys.size();
+  if (n <= 1) return;
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](index_t a, index_t b) { return keys(a) < keys(b); });
+  pk::View<K, 1> ks("cmp_keys", n);
+  pk::View<V, 1> vs("cmp_vals", n);
+  pk::parallel_for(n, [&](index_t i) {
+    ks(i) = keys(perm[static_cast<std::size_t>(i)]);
+    vs(i) = values(perm[static_cast<std::size_t>(i)]);
+  });
+  pk::deep_copy(keys, ks);
+  pk::deep_copy(values, vs);
+}
+
+/// argsort: fill `perm` with the stable ascending-by-key permutation
+/// (perm[rank] = original index) without disturbing `keys`.
+template <class K>
+void argsort(const pk::View<K, 1>& keys, pk::View<index_t, 1>& perm) {
+  const index_t n = keys.size();
+  pk::View<K, 1> kcopy("argsort_keys", n);
+  pk::deep_copy(kcopy, keys);
+  pk::parallel_for(n, [&](index_t i) { perm(i) = i; });
+  sort_by_key(kcopy, perm);
+}
+
+/// Apply a permutation: dst(i) = src(perm(i)).
+template <class T>
+void apply_permutation(const pk::View<index_t, 1>& perm,
+                       const pk::View<T, 1>& src, pk::View<T, 1>& dst) {
+  pk::parallel_for(perm.size(), [&](index_t i) { dst(i) = src(perm(i)); });
+}
+
+/// In-place permutation apply by cycle-walking: data(i) <- data(perm(i))
+/// with O(n) bits of scratch instead of a full second array. This is the
+/// memory-footprint optimization from the VPIC memory-usage line of work
+/// the paper builds on ([19, 20]: "break the 10 trillion particle
+/// barrier") — at extreme particle counts the sort's double-buffer is the
+/// difference between fitting and not fitting. `perm` is consumed
+/// (restored on exit); serial over cycles, so use the buffered
+/// apply_permutation when memory is not the constraint.
+template <class T>
+void apply_permutation_in_place(const pk::View<index_t, 1>& perm,
+                                pk::View<T, 1>& data) {
+  const index_t n = perm.size();
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  for (index_t start = 0; start < n; ++start) {
+    if (visited[static_cast<std::size_t>(start)] || perm(start) == start) {
+      visited[static_cast<std::size_t>(start)] = true;
+      continue;
+    }
+    // Walk the cycle containing `start`, carrying one displaced element.
+    T carried = data(start);
+    index_t hole = start;
+    while (true) {
+      visited[static_cast<std::size_t>(hole)] = true;
+      const index_t src = perm(hole);
+      if (src == start) {
+        data(hole) = carried;
+        break;
+      }
+      data(hole) = data(src);
+      hole = src;
+    }
+  }
+}
+
+}  // namespace vpic::sort

@@ -1,0 +1,205 @@
+// sort/sorters.hpp
+//
+// The paper's hardware-targeted sorting algorithms (Section 3.2 / 4.3):
+//
+//  * standard_sort       — plain ascending sort by cell key: the CPU-optimal
+//                          order (each thread owns one cell's particles).
+//  * strided_sort        — Algorithm 1: rewrites keys so equal keys land
+//                          W apart, producing repeating, strictly
+//                          monotonically increasing subsequences: the
+//                          GPU-coalesced order.
+//  * tiled_strided_sort  — Algorithm 2: strided order within repeating
+//                          tiles of TileSz distinct keys, so a tile's cell
+//                          data stays cache-resident while accesses remain
+//                          coalesced.
+//  * random_shuffle      — worst-case baseline used by Fig. 7.
+//
+// All sorters operate on (keys, values) pairs exactly as the paper's
+// pseudocode does; `make_*_keys` exposes the key-rewriting step alone so
+// multi-field particle arrays can be permuted via argsort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pk/pk.hpp"
+#include "sort/radix.hpp"
+
+namespace vpic::sort {
+
+enum class SortOrder : std::uint8_t {
+  Random,
+  Standard,
+  Strided,
+  TiledStrided,
+};
+
+inline const char* to_string(SortOrder o) noexcept {
+  switch (o) {
+    case SortOrder::Random:
+      return "random";
+    case SortOrder::Standard:
+      return "standard";
+    case SortOrder::Strided:
+      return "strided";
+    case SortOrder::TiledStrided:
+      return "tiled-strided";
+  }
+  return "?";
+}
+
+/// Result of MINMAX over the keys (Algorithms 1 & 2, line 2).
+template <class K>
+pk::MinMaxValue<K> key_minmax(const pk::View<K, 1>& keys) {
+  pk::MinMaxValue<K> mm{};
+  pk::parallel_reduce<pk::MinMax<K>>(
+      pk::RangePolicy<>(keys.size()),
+      [&](index_t i, pk::MinMaxValue<K>& acc) {
+        const K k = keys(i);
+        if (k < acc.min_val) acc.min_val = k;
+        if (k > acc.max_val) acc.max_val = k;
+      },
+      mm);
+  return mm;
+}
+
+/// Algorithm 1, lines 1-7: produce the strided-order keys.
+/// new_keys(i) = (key - min_k) + occurrence * (max_k + 1), where
+/// `occurrence` counts prior instances of the same key (atomically).
+template <class K>
+pk::View<K, 1> make_strided_keys(const pk::View<K, 1>& keys) {
+  const index_t n = keys.size();
+  pk::View<K, 1> new_keys("strided_keys", n);
+  if (n == 0) return new_keys;
+
+  const auto mm = key_minmax(keys);
+  const K min_k = mm.min_val;
+  const K max_k = mm.max_val;
+  pk::View<K, 1> key_counts("key_counts", static_cast<index_t>(max_k) -
+                                               static_cast<index_t>(min_k) +
+                                               1);
+  pk::parallel_for(n, [&](index_t i) {
+    const K key = keys(i);
+    const K occ = pk::atomic_fetch_add(&key_counts(key - min_k), K{1});
+    new_keys(i) = static_cast<K>((key - min_k) + occ * (max_k + 1));
+  });
+  return new_keys;
+}
+
+/// Algorithm 2, lines 1-15: produce the tiled-strided-order keys.
+/// Keys are grouped into chunks of `tile_sz` distinct key values; each
+/// chunk holds max_repeat tiles; within a tile keys follow strided order.
+template <class K>
+pk::View<K, 1> make_tiled_strided_keys(const pk::View<K, 1>& keys,
+                                       K tile_sz) {
+  const index_t n = keys.size();
+  pk::View<K, 1> new_keys("tiled_keys", n);
+  if (n == 0) return new_keys;
+  if (tile_sz < 1) tile_sz = 1;
+
+  const auto mm = key_minmax(keys);
+  const K min_k = mm.min_val;
+  const K max_k = mm.max_val;
+  const index_t nkeys =
+      static_cast<index_t>(max_k) - static_cast<index_t>(min_k) + 1;
+  pk::View<K, 1> key_counts("key_counts", nkeys);
+
+  // Lines 4-6: histogram of key multiplicities.
+  pk::parallel_for(n, [&](index_t i) {
+    pk::atomic_inc(&key_counts(keys(i) - min_k));
+  });
+
+  // Line 7: max multiplicity determines tiles per chunk.
+  K max_r = 0;
+  pk::parallel_reduce<pk::Max<K>>(
+      pk::RangePolicy<>(nkeys),
+      [&](index_t i, K& acc) {
+        if (key_counts(i) > acc) acc = key_counts(i);
+      },
+      max_r);
+
+  // Line 8: chunk_sz = TileSz * max_r  (key slots per chunk).
+  const K chunk_sz = static_cast<K>(tile_sz * max_r);
+
+  // Line 9: reset the counting view.
+  pk::deep_copy(key_counts, K{0});
+
+  // Lines 10-15: assign each element a (chunk, tile, id) composite key.
+  pk::parallel_for(n, [&](index_t i) {
+    const K id = static_cast<K>(keys(i) - min_k);
+    const K tile = pk::atomic_fetch_add(&key_counts(id), K{1});
+    const K chunk = static_cast<K>(keys(i) / tile_sz);
+    new_keys(i) = static_cast<K>(chunk * chunk_sz + tile * tile_sz + id);
+  });
+  return new_keys;
+}
+
+/// Standard classification (ascending by key). CPU-optimal order.
+template <class K, class V>
+void standard_sort(pk::View<K, 1>& keys, pk::View<V, 1>& values) {
+  sort_by_key(keys, values);
+}
+
+/// Algorithm 1 end-to-end: reorder (keys, values) into strided order.
+template <class K, class V>
+void strided_sort(pk::View<K, 1>& keys, pk::View<V, 1>& values) {
+  pk::View<K, 1> nk = make_strided_keys(keys);
+  pk::View<K, 1> nk2("strided_keys_copy", nk.size());
+  pk::deep_copy(nk2, nk);
+  sort_by_key(nk, keys);    // line 8: SORT_BY_KEY(new_keys, Keys)
+  sort_by_key(nk2, values); // line 9: SORT_BY_KEY(new_keys, Values)
+}
+
+/// Algorithm 2 end-to-end: reorder (keys, values) into tiled-strided order.
+template <class K, class V>
+void tiled_strided_sort(pk::View<K, 1>& keys, pk::View<V, 1>& values,
+                        K tile_sz) {
+  pk::View<K, 1> nk = make_tiled_strided_keys(keys, tile_sz);
+  pk::View<K, 1> nk2("tiled_keys_copy", nk.size());
+  pk::deep_copy(nk2, nk);
+  sort_by_key(nk, keys);
+  sort_by_key(nk2, values);
+}
+
+/// Deterministic Fisher-Yates shuffle (worst-case order baseline).
+template <class K, class V>
+void random_shuffle(pk::View<K, 1>& keys, pk::View<V, 1>& values,
+                    std::uint64_t seed) {
+  const index_t n = keys.size();
+  std::uint64_t state = seed ? seed : 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    // xorshift64*
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  };
+  for (index_t i = n - 1; i > 0; --i) {
+    const index_t j = static_cast<index_t>(next() % static_cast<std::uint64_t>(i + 1));
+    std::swap(keys(i), keys(j));
+    std::swap(values(i), values(j));
+  }
+}
+
+/// Dispatch by SortOrder (tile_sz ignored unless TiledStrided).
+template <class K, class V>
+void sort_pairs(SortOrder order, pk::View<K, 1>& keys,
+                pk::View<V, 1>& values, K tile_sz = 0,
+                std::uint64_t seed = 12345) {
+  switch (order) {
+    case SortOrder::Random:
+      random_shuffle(keys, values, seed);
+      break;
+    case SortOrder::Standard:
+      standard_sort(keys, values);
+      break;
+    case SortOrder::Strided:
+      strided_sort(keys, values);
+      break;
+    case SortOrder::TiledStrided:
+      tiled_strided_sort(keys, values, tile_sz);
+      break;
+  }
+}
+
+}  // namespace vpic::sort

@@ -1,0 +1,103 @@
+// v4/v16_avx512.hpp
+//
+// AVX-512 (512-bit, 16-lane) implementation of the ad hoc SIMD API. A
+// third full re-implementation (Fig. 1); note AVX-512 introduces opmask
+// registers, so even the branching idiom differs from the AVX2 version —
+// exactly the kind of per-ISA divergence the paper's portable strategies
+// eliminate.
+#pragma once
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace vpic::v4 {
+
+class v16float_avx512 {
+ public:
+  static constexpr int width = 16;
+  static constexpr const char* isa = "AVX512";
+
+  v16float_avx512() : v_(_mm512_setzero_ps()) {}
+  explicit v16float_avx512(float a) : v_(_mm512_set1_ps(a)) {}
+  explicit v16float_avx512(__m512 v) : v_(v) {}
+
+  static v16float_avx512 load(const float* p) {
+    return v16float_avx512(_mm512_loadu_ps(p));
+  }
+  void store(float* p) const { _mm512_storeu_ps(p, v_); }
+
+  static v16float_avx512 gather(const float* base, const int* idx) {
+    __m512i vi = _mm512_loadu_si512(idx);
+    return v16float_avx512(_mm512_i32gather_ps(vi, base, 4));
+  }
+
+  float operator[](int i) const {
+    alignas(64) float tmp[16];
+    _mm512_store_ps(tmp, v_);
+    return tmp[i];
+  }
+  void set(int i, float x) {
+    alignas(64) float tmp[16];
+    _mm512_store_ps(tmp, v_);
+    tmp[i] = x;
+    v_ = _mm512_load_ps(tmp);
+  }
+
+  friend v16float_avx512 operator+(v16float_avx512 a, v16float_avx512 b) {
+    return v16float_avx512(_mm512_add_ps(a.v_, b.v_));
+  }
+  friend v16float_avx512 operator-(v16float_avx512 a, v16float_avx512 b) {
+    return v16float_avx512(_mm512_sub_ps(a.v_, b.v_));
+  }
+  friend v16float_avx512 operator*(v16float_avx512 a, v16float_avx512 b) {
+    return v16float_avx512(_mm512_mul_ps(a.v_, b.v_));
+  }
+  friend v16float_avx512 operator/(v16float_avx512 a, v16float_avx512 b) {
+    return v16float_avx512(_mm512_div_ps(a.v_, b.v_));
+  }
+
+  static v16float_avx512 fma(v16float_avx512 a, v16float_avx512 b,
+                             v16float_avx512 c) {
+    return v16float_avx512(_mm512_fmadd_ps(a.v_, b.v_, c.v_));
+  }
+
+  static v16float_avx512 sqrt(v16float_avx512 a) {
+    return v16float_avx512(_mm512_sqrt_ps(a.v_));
+  }
+
+  static v16float_avx512 rsqrt(v16float_avx512 a) {
+    __m512 est = _mm512_rsqrt14_ps(a.v_);
+    __m512 half_a = _mm512_mul_ps(_mm512_set1_ps(0.5f), a.v_);
+    __m512 e2 = _mm512_mul_ps(est, est);
+    __m512 corr =
+        _mm512_sub_ps(_mm512_set1_ps(1.5f), _mm512_mul_ps(half_a, e2));
+    return v16float_avx512(_mm512_mul_ps(est, corr));
+  }
+
+  static v16float_avx512 min(v16float_avx512 a, v16float_avx512 b) {
+    return v16float_avx512(_mm512_min_ps(a.v_, b.v_));
+  }
+  static v16float_avx512 max(v16float_avx512 a, v16float_avx512 b) {
+    return v16float_avx512(_mm512_max_ps(a.v_, b.v_));
+  }
+
+  /// Masked blend using AVX-512 opmasks (per-ISA branch handling).
+  static v16float_avx512 select_lt(v16float_avx512 a, v16float_avx512 b,
+                                   v16float_avx512 if_true,
+                                   v16float_avx512 if_false) {
+    __mmask16 m = _mm512_cmp_ps_mask(a.v_, b.v_, _CMP_LT_OQ);
+    return v16float_avx512(_mm512_mask_blend_ps(m, if_false.v_, if_true.v_));
+  }
+
+  float hsum() const { return _mm512_reduce_add_ps(v_); }
+
+  [[nodiscard]] __m512 raw() const { return v_; }
+
+ private:
+  __m512 v_;
+};
+
+}  // namespace vpic::v4
+
+#endif  // __AVX512F__

@@ -1,0 +1,37 @@
+// v4/v4.hpp
+//
+// Dispatch header for the ad hoc SIMD library: picks the widest
+// ISA-specific implementation the build target supports, mirroring VPIC
+// 1.2's build-time selection. The `vfloat` alias is what the ad hoc
+// particle-push variant codes against.
+#pragma once
+
+#include "v4/v4_portable.hpp"
+#include "v4/v4int.hpp"
+#include "v4/v4_sse.hpp"
+#include "v4/v16_avx512.hpp"
+#include "v4/v8_avx2.hpp"
+
+namespace vpic::v4 {
+
+#if defined(__AVX512F__)
+using vfloat = v16float_avx512;
+#elif defined(__AVX2__)
+using vfloat = v8float_avx2;
+#elif defined(__SSE2__)
+using vfloat = v4float_sse;
+#else
+using vfloat = v4float_portable;
+#endif
+
+/// Widest-available 4-lane type (used by the 4-lane transpose paths).
+#if defined(__SSE2__)
+using vfloat4 = v4float_sse;
+#else
+using vfloat4 = v4float_portable;
+#endif
+
+constexpr const char* active_isa() noexcept { return vfloat::isa; }
+constexpr int active_width() noexcept { return vfloat::width; }
+
+}  // namespace vpic::v4

@@ -1,0 +1,90 @@
+// v4/v4_portable.hpp
+//
+// Portable (scalar-array) implementation of the VPIC 1.2-style "ad hoc"
+// SIMD classes. VPIC 1.2 ships one such file per ISA (v4_sse, v4_avx2,
+// v4_avx512, v4_neon, v4_altivec, ...), each re-implementing the identical
+// API with that ISA's intrinsics — the duplication quantified in Figure 1.
+// This file is the always-available fallback and the reference semantics
+// for the intrinsic versions.
+#pragma once
+
+#include <cmath>
+
+namespace vpic::v4 {
+
+class v4float_portable {
+ public:
+  static constexpr int width = 4;
+  static constexpr const char* isa = "portable";
+
+  v4float_portable() : f_{0, 0, 0, 0} {}
+  explicit v4float_portable(float a) : f_{a, a, a, a} {}
+  v4float_portable(float a, float b, float c, float d) : f_{a, b, c, d} {}
+
+  static v4float_portable load(const float* p) {
+    return {p[0], p[1], p[2], p[3]};
+  }
+  void store(float* p) const {
+    p[0] = f_[0];
+    p[1] = f_[1];
+    p[2] = f_[2];
+    p[3] = f_[3];
+  }
+
+  float operator[](int i) const { return f_[i]; }
+  void set(int i, float v) { f_[i] = v; }
+
+  friend v4float_portable operator+(v4float_portable a, v4float_portable b) {
+    return {a.f_[0] + b.f_[0], a.f_[1] + b.f_[1], a.f_[2] + b.f_[2],
+            a.f_[3] + b.f_[3]};
+  }
+  friend v4float_portable operator-(v4float_portable a, v4float_portable b) {
+    return {a.f_[0] - b.f_[0], a.f_[1] - b.f_[1], a.f_[2] - b.f_[2],
+            a.f_[3] - b.f_[3]};
+  }
+  friend v4float_portable operator*(v4float_portable a, v4float_portable b) {
+    return {a.f_[0] * b.f_[0], a.f_[1] * b.f_[1], a.f_[2] * b.f_[2],
+            a.f_[3] * b.f_[3]};
+  }
+  friend v4float_portable operator/(v4float_portable a, v4float_portable b) {
+    return {a.f_[0] / b.f_[0], a.f_[1] / b.f_[1], a.f_[2] / b.f_[2],
+            a.f_[3] / b.f_[3]};
+  }
+
+  static v4float_portable fma(v4float_portable a, v4float_portable b,
+                              v4float_portable c) {
+    return {std::fma(a.f_[0], b.f_[0], c.f_[0]),
+            std::fma(a.f_[1], b.f_[1], c.f_[1]),
+            std::fma(a.f_[2], b.f_[2], c.f_[2]),
+            std::fma(a.f_[3], b.f_[3], c.f_[3])};
+  }
+
+  static v4float_portable sqrt(v4float_portable a) {
+    return {std::sqrt(a.f_[0]), std::sqrt(a.f_[1]), std::sqrt(a.f_[2]),
+            std::sqrt(a.f_[3])};
+  }
+  static v4float_portable rsqrt(v4float_portable a) {
+    return {1.0f / std::sqrt(a.f_[0]), 1.0f / std::sqrt(a.f_[1]),
+            1.0f / std::sqrt(a.f_[2]), 1.0f / std::sqrt(a.f_[3])};
+  }
+
+  float hsum() const { return f_[0] + f_[1] + f_[2] + f_[3]; }
+
+  /// 4x4 transpose across four registers.
+  static void transpose(v4float_portable& r0, v4float_portable& r1,
+                        v4float_portable& r2, v4float_portable& r3) {
+    const v4float_portable c0{r0.f_[0], r1.f_[0], r2.f_[0], r3.f_[0]};
+    const v4float_portable c1{r0.f_[1], r1.f_[1], r2.f_[1], r3.f_[1]};
+    const v4float_portable c2{r0.f_[2], r1.f_[2], r2.f_[2], r3.f_[2]};
+    const v4float_portable c3{r0.f_[3], r1.f_[3], r2.f_[3], r3.f_[3]};
+    r0 = c0;
+    r1 = c1;
+    r2 = c2;
+    r3 = c3;
+  }
+
+ private:
+  float f_[4];
+};
+
+}  // namespace vpic::v4

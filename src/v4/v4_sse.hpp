@@ -1,0 +1,96 @@
+// v4/v4_sse.hpp
+//
+// SSE (128-bit) implementation of the ad hoc SIMD API. Note the wholesale
+// re-implementation relative to v4_portable.hpp / v4_avx2.hpp — this is the
+// per-ISA duplication VPIC 1.2 carries for every vector extension (Fig. 1).
+#pragma once
+
+#if defined(__SSE2__)
+
+#include <immintrin.h>
+
+namespace vpic::v4 {
+
+class v4float_sse {
+ public:
+  static constexpr int width = 4;
+  static constexpr const char* isa = "SSE";
+
+  v4float_sse() : v_(_mm_setzero_ps()) {}
+  explicit v4float_sse(float a) : v_(_mm_set1_ps(a)) {}
+  v4float_sse(float a, float b, float c, float d)
+      : v_(_mm_setr_ps(a, b, c, d)) {}
+  explicit v4float_sse(__m128 v) : v_(v) {}
+
+  static v4float_sse load(const float* p) {
+    return v4float_sse(_mm_loadu_ps(p));
+  }
+  void store(float* p) const { _mm_storeu_ps(p, v_); }
+
+  float operator[](int i) const {
+    alignas(16) float tmp[4];
+    _mm_store_ps(tmp, v_);
+    return tmp[i];
+  }
+  void set(int i, float x) {
+    alignas(16) float tmp[4];
+    _mm_store_ps(tmp, v_);
+    tmp[i] = x;
+    v_ = _mm_load_ps(tmp);
+  }
+
+  friend v4float_sse operator+(v4float_sse a, v4float_sse b) {
+    return v4float_sse(_mm_add_ps(a.v_, b.v_));
+  }
+  friend v4float_sse operator-(v4float_sse a, v4float_sse b) {
+    return v4float_sse(_mm_sub_ps(a.v_, b.v_));
+  }
+  friend v4float_sse operator*(v4float_sse a, v4float_sse b) {
+    return v4float_sse(_mm_mul_ps(a.v_, b.v_));
+  }
+  friend v4float_sse operator/(v4float_sse a, v4float_sse b) {
+    return v4float_sse(_mm_div_ps(a.v_, b.v_));
+  }
+
+  static v4float_sse fma(v4float_sse a, v4float_sse b, v4float_sse c) {
+#if defined(__FMA__)
+    return v4float_sse(_mm_fmadd_ps(a.v_, b.v_, c.v_));
+#else
+    return v4float_sse(_mm_add_ps(_mm_mul_ps(a.v_, b.v_), c.v_));
+#endif
+  }
+
+  static v4float_sse sqrt(v4float_sse a) {
+    return v4float_sse(_mm_sqrt_ps(a.v_));
+  }
+
+  /// rsqrt estimate + one Newton-Raphson step (VPIC 1.2's idiom).
+  static v4float_sse rsqrt(v4float_sse a) {
+    __m128 est = _mm_rsqrt_ps(a.v_);
+    // est * (1.5 - 0.5*a*est*est)
+    __m128 half_a = _mm_mul_ps(_mm_set1_ps(0.5f), a.v_);
+    __m128 e2 = _mm_mul_ps(est, est);
+    __m128 corr = _mm_sub_ps(_mm_set1_ps(1.5f), _mm_mul_ps(half_a, e2));
+    return v4float_sse(_mm_mul_ps(est, corr));
+  }
+
+  float hsum() const {
+    __m128 t = _mm_add_ps(v_, _mm_movehl_ps(v_, v_));
+    t = _mm_add_ss(t, _mm_shuffle_ps(t, t, 0x55));
+    return _mm_cvtss_f32(t);
+  }
+
+  static void transpose(v4float_sse& r0, v4float_sse& r1, v4float_sse& r2,
+                        v4float_sse& r3) {
+    _MM_TRANSPOSE4_PS(r0.v_, r1.v_, r2.v_, r3.v_);
+  }
+
+  [[nodiscard]] __m128 raw() const { return v_; }
+
+ private:
+  __m128 v_;
+};
+
+}  // namespace vpic::v4
+
+#endif  // __SSE2__

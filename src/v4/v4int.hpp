@@ -1,0 +1,373 @@
+// v4/v4int.hpp
+//
+// Integer companions to the ad hoc float vectors — VPIC 1.2 pairs each
+// vNfloat with a vNint used for cell indices, move flags and mask logic.
+// As with the float classes, each ISA gets its own full implementation
+// (more of the Fig. 1 duplication); the portable version defines the
+// reference semantics.
+#pragma once
+
+#include <cstdint>
+
+namespace vpic::v4 {
+
+class v4int_portable {
+ public:
+  static constexpr int width = 4;
+  static constexpr const char* isa = "portable";
+
+  v4int_portable() : i_{0, 0, 0, 0} {}
+  explicit v4int_portable(std::int32_t a) : i_{a, a, a, a} {}
+  v4int_portable(std::int32_t a, std::int32_t b, std::int32_t c,
+                 std::int32_t d)
+      : i_{a, b, c, d} {}
+
+  static v4int_portable load(const std::int32_t* p) {
+    return {p[0], p[1], p[2], p[3]};
+  }
+  void store(std::int32_t* p) const {
+    for (int k = 0; k < 4; ++k) p[k] = i_[k];
+  }
+
+  std::int32_t operator[](int k) const { return i_[k]; }
+  void set(int k, std::int32_t v) { i_[k] = v; }
+
+  friend v4int_portable operator+(v4int_portable a, v4int_portable b) {
+    return {a.i_[0] + b.i_[0], a.i_[1] + b.i_[1], a.i_[2] + b.i_[2],
+            a.i_[3] + b.i_[3]};
+  }
+  friend v4int_portable operator-(v4int_portable a, v4int_portable b) {
+    return {a.i_[0] - b.i_[0], a.i_[1] - b.i_[1], a.i_[2] - b.i_[2],
+            a.i_[3] - b.i_[3]};
+  }
+  friend v4int_portable operator*(v4int_portable a, v4int_portable b) {
+    return {a.i_[0] * b.i_[0], a.i_[1] * b.i_[1], a.i_[2] * b.i_[2],
+            a.i_[3] * b.i_[3]};
+  }
+  friend v4int_portable operator&(v4int_portable a, v4int_portable b) {
+    return {a.i_[0] & b.i_[0], a.i_[1] & b.i_[1], a.i_[2] & b.i_[2],
+            a.i_[3] & b.i_[3]};
+  }
+  friend v4int_portable operator|(v4int_portable a, v4int_portable b) {
+    return {a.i_[0] | b.i_[0], a.i_[1] | b.i_[1], a.i_[2] | b.i_[2],
+            a.i_[3] | b.i_[3]};
+  }
+  friend v4int_portable operator^(v4int_portable a, v4int_portable b) {
+    return {a.i_[0] ^ b.i_[0], a.i_[1] ^ b.i_[1], a.i_[2] ^ b.i_[2],
+            a.i_[3] ^ b.i_[3]};
+  }
+  v4int_portable operator<<(int s) const {
+    return {i_[0] << s, i_[1] << s, i_[2] << s, i_[3] << s};
+  }
+  v4int_portable operator>>(int s) const {
+    return {i_[0] >> s, i_[1] >> s, i_[2] >> s, i_[3] >> s};
+  }
+
+  /// Lane-wise a < b as an all-ones/all-zeros mask (VPIC mask idiom).
+  static v4int_portable cmplt(v4int_portable a, v4int_portable b) {
+    return {a.i_[0] < b.i_[0] ? -1 : 0, a.i_[1] < b.i_[1] ? -1 : 0,
+            a.i_[2] < b.i_[2] ? -1 : 0, a.i_[3] < b.i_[3] ? -1 : 0};
+  }
+  static v4int_portable cmpeq(v4int_portable a, v4int_portable b) {
+    return {a.i_[0] == b.i_[0] ? -1 : 0, a.i_[1] == b.i_[1] ? -1 : 0,
+            a.i_[2] == b.i_[2] ? -1 : 0, a.i_[3] == b.i_[3] ? -1 : 0};
+  }
+
+  /// merge(mask, t, f): t where mask lanes are set, f elsewhere.
+  static v4int_portable merge(v4int_portable mask, v4int_portable t,
+                              v4int_portable f) {
+    return (mask & t) | v4int_portable{~mask.i_[0] & f.i_[0],
+                                       ~mask.i_[1] & f.i_[1],
+                                       ~mask.i_[2] & f.i_[2],
+                                       ~mask.i_[3] & f.i_[3]};
+  }
+
+  [[nodiscard]] bool any() const {
+    return i_[0] || i_[1] || i_[2] || i_[3];
+  }
+  [[nodiscard]] bool all() const {
+    return i_[0] && i_[1] && i_[2] && i_[3];
+  }
+  [[nodiscard]] std::int32_t hadd() const {
+    return i_[0] + i_[1] + i_[2] + i_[3];
+  }
+
+ private:
+  std::int32_t i_[4];
+};
+
+}  // namespace vpic::v4
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+
+namespace vpic::v4 {
+
+class v4int_sse {
+ public:
+  static constexpr int width = 4;
+  static constexpr const char* isa = "SSE";
+
+  v4int_sse() : v_(_mm_setzero_si128()) {}
+  explicit v4int_sse(std::int32_t a) : v_(_mm_set1_epi32(a)) {}
+  v4int_sse(std::int32_t a, std::int32_t b, std::int32_t c, std::int32_t d)
+      : v_(_mm_setr_epi32(a, b, c, d)) {}
+  explicit v4int_sse(__m128i v) : v_(v) {}
+
+  static v4int_sse load(const std::int32_t* p) {
+    return v4int_sse(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  }
+  void store(std::int32_t* p) const {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v_);
+  }
+
+  std::int32_t operator[](int k) const {
+    alignas(16) std::int32_t tmp[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), v_);
+    return tmp[k];
+  }
+  void set(int k, std::int32_t x) {
+    alignas(16) std::int32_t tmp[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), v_);
+    tmp[k] = x;
+    v_ = _mm_load_si128(reinterpret_cast<const __m128i*>(tmp));
+  }
+
+  friend v4int_sse operator+(v4int_sse a, v4int_sse b) {
+    return v4int_sse(_mm_add_epi32(a.v_, b.v_));
+  }
+  friend v4int_sse operator-(v4int_sse a, v4int_sse b) {
+    return v4int_sse(_mm_sub_epi32(a.v_, b.v_));
+  }
+  friend v4int_sse operator*(v4int_sse a, v4int_sse b) {
+#if defined(__SSE4_1__)
+    return v4int_sse(_mm_mullo_epi32(a.v_, b.v_));
+#else
+    alignas(16) std::int32_t xa[4], xb[4];
+    a.store(xa);
+    b.store(xb);
+    return {xa[0] * xb[0], xa[1] * xb[1], xa[2] * xb[2], xa[3] * xb[3]};
+#endif
+  }
+  friend v4int_sse operator&(v4int_sse a, v4int_sse b) {
+    return v4int_sse(_mm_and_si128(a.v_, b.v_));
+  }
+  friend v4int_sse operator|(v4int_sse a, v4int_sse b) {
+    return v4int_sse(_mm_or_si128(a.v_, b.v_));
+  }
+  friend v4int_sse operator^(v4int_sse a, v4int_sse b) {
+    return v4int_sse(_mm_xor_si128(a.v_, b.v_));
+  }
+  v4int_sse operator<<(int s) const {
+    return v4int_sse(_mm_slli_epi32(v_, s));
+  }
+  v4int_sse operator>>(int s) const {
+    return v4int_sse(_mm_srai_epi32(v_, s));
+  }
+
+  static v4int_sse cmplt(v4int_sse a, v4int_sse b) {
+    return v4int_sse(_mm_cmplt_epi32(a.v_, b.v_));
+  }
+  static v4int_sse cmpeq(v4int_sse a, v4int_sse b) {
+    return v4int_sse(_mm_cmpeq_epi32(a.v_, b.v_));
+  }
+  static v4int_sse merge(v4int_sse mask, v4int_sse t, v4int_sse f) {
+    return v4int_sse(_mm_or_si128(_mm_and_si128(mask.v_, t.v_),
+                                  _mm_andnot_si128(mask.v_, f.v_)));
+  }
+
+  [[nodiscard]] bool any() const {
+    return _mm_movemask_epi8(_mm_cmpeq_epi32(v_, _mm_setzero_si128())) !=
+           0xFFFF;
+  }
+  [[nodiscard]] bool all() const {
+    return _mm_movemask_epi8(_mm_cmpeq_epi32(v_, _mm_setzero_si128())) == 0;
+  }
+  [[nodiscard]] std::int32_t hadd() const {
+    __m128i t = _mm_add_epi32(v_, _mm_srli_si128(v_, 8));
+    t = _mm_add_epi32(t, _mm_srli_si128(t, 4));
+    return _mm_cvtsi128_si32(t);
+  }
+
+  [[nodiscard]] __m128i raw() const { return v_; }
+
+ private:
+  __m128i v_;
+};
+
+}  // namespace vpic::v4
+#endif  // __SSE2__
+
+#if defined(__AVX2__)
+namespace vpic::v4 {
+
+class v8int_avx2 {
+ public:
+  static constexpr int width = 8;
+  static constexpr const char* isa = "AVX2";
+
+  v8int_avx2() : v_(_mm256_setzero_si256()) {}
+  explicit v8int_avx2(std::int32_t a) : v_(_mm256_set1_epi32(a)) {}
+  explicit v8int_avx2(__m256i v) : v_(v) {}
+
+  static v8int_avx2 load(const std::int32_t* p) {
+    return v8int_avx2(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+  }
+  void store(std::int32_t* p) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v_);
+  }
+
+  std::int32_t operator[](int k) const {
+    alignas(32) std::int32_t tmp[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v_);
+    return tmp[k];
+  }
+  void set(int k, std::int32_t x) {
+    alignas(32) std::int32_t tmp[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v_);
+    tmp[k] = x;
+    v_ = _mm256_load_si256(reinterpret_cast<const __m256i*>(tmp));
+  }
+
+  friend v8int_avx2 operator+(v8int_avx2 a, v8int_avx2 b) {
+    return v8int_avx2(_mm256_add_epi32(a.v_, b.v_));
+  }
+  friend v8int_avx2 operator-(v8int_avx2 a, v8int_avx2 b) {
+    return v8int_avx2(_mm256_sub_epi32(a.v_, b.v_));
+  }
+  friend v8int_avx2 operator*(v8int_avx2 a, v8int_avx2 b) {
+    return v8int_avx2(_mm256_mullo_epi32(a.v_, b.v_));
+  }
+  friend v8int_avx2 operator&(v8int_avx2 a, v8int_avx2 b) {
+    return v8int_avx2(_mm256_and_si256(a.v_, b.v_));
+  }
+  friend v8int_avx2 operator|(v8int_avx2 a, v8int_avx2 b) {
+    return v8int_avx2(_mm256_or_si256(a.v_, b.v_));
+  }
+  friend v8int_avx2 operator^(v8int_avx2 a, v8int_avx2 b) {
+    return v8int_avx2(_mm256_xor_si256(a.v_, b.v_));
+  }
+  v8int_avx2 operator<<(int s) const {
+    return v8int_avx2(_mm256_slli_epi32(v_, s));
+  }
+  v8int_avx2 operator>>(int s) const {
+    return v8int_avx2(_mm256_srai_epi32(v_, s));
+  }
+
+  static v8int_avx2 cmplt(v8int_avx2 a, v8int_avx2 b) {
+    return v8int_avx2(_mm256_cmpgt_epi32(b.v_, a.v_));
+  }
+  static v8int_avx2 cmpeq(v8int_avx2 a, v8int_avx2 b) {
+    return v8int_avx2(_mm256_cmpeq_epi32(a.v_, b.v_));
+  }
+  static v8int_avx2 merge(v8int_avx2 mask, v8int_avx2 t, v8int_avx2 f) {
+    return v8int_avx2(_mm256_blendv_epi8(f.v_, t.v_, mask.v_));
+  }
+
+  [[nodiscard]] bool any() const {
+    return !_mm256_testz_si256(v_, v_);
+  }
+  [[nodiscard]] std::int32_t hadd() const {
+    __m128i lo = _mm256_castsi256_si128(v_);
+    __m128i hi = _mm256_extracti128_si256(v_, 1);
+    __m128i s = _mm_add_epi32(lo, hi);
+    s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+    s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+    return _mm_cvtsi128_si32(s);
+  }
+
+  [[nodiscard]] __m256i raw() const { return v_; }
+
+ private:
+  __m256i v_;
+};
+
+}  // namespace vpic::v4
+#endif  // __AVX2__
+
+namespace vpic::v4 {
+
+#if defined(__SSE2__)
+using vint4 = v4int_sse;
+#else
+using vint4 = v4int_portable;
+#endif
+
+}  // namespace vpic::v4
+
+#if defined(__AVX512F__)
+namespace vpic::v4 {
+
+class v16int_avx512 {
+ public:
+  static constexpr int width = 16;
+  static constexpr const char* isa = "AVX512";
+
+  v16int_avx512() : v_(_mm512_setzero_si512()) {}
+  explicit v16int_avx512(std::int32_t a) : v_(_mm512_set1_epi32(a)) {}
+  explicit v16int_avx512(__m512i v) : v_(v) {}
+
+  static v16int_avx512 load(const std::int32_t* p) {
+    return v16int_avx512(_mm512_loadu_si512(p));
+  }
+  void store(std::int32_t* p) const { _mm512_storeu_si512(p, v_); }
+
+  std::int32_t operator[](int k) const {
+    alignas(64) std::int32_t tmp[16];
+    _mm512_store_si512(tmp, v_);
+    return tmp[k];
+  }
+  void set(int k, std::int32_t x) {
+    alignas(64) std::int32_t tmp[16];
+    _mm512_store_si512(tmp, v_);
+    tmp[k] = x;
+    v_ = _mm512_load_si512(tmp);
+  }
+
+  friend v16int_avx512 operator+(v16int_avx512 a, v16int_avx512 b) {
+    return v16int_avx512(_mm512_add_epi32(a.v_, b.v_));
+  }
+  friend v16int_avx512 operator-(v16int_avx512 a, v16int_avx512 b) {
+    return v16int_avx512(_mm512_sub_epi32(a.v_, b.v_));
+  }
+  friend v16int_avx512 operator*(v16int_avx512 a, v16int_avx512 b) {
+    return v16int_avx512(_mm512_mullo_epi32(a.v_, b.v_));
+  }
+  friend v16int_avx512 operator&(v16int_avx512 a, v16int_avx512 b) {
+    return v16int_avx512(_mm512_and_si512(a.v_, b.v_));
+  }
+  friend v16int_avx512 operator|(v16int_avx512 a, v16int_avx512 b) {
+    return v16int_avx512(_mm512_or_si512(a.v_, b.v_));
+  }
+  v16int_avx512 operator<<(int s) const {
+    return v16int_avx512(_mm512_slli_epi32(v_, static_cast<unsigned>(s)));
+  }
+  v16int_avx512 operator>>(int s) const {
+    return v16int_avx512(_mm512_srai_epi32(v_, static_cast<unsigned>(s)));
+  }
+
+  /// AVX-512 uses opmask registers for comparisons — a structurally
+  /// different idiom from the SSE/AVX2 all-ones vectors (the per-ISA
+  /// divergence Fig. 1 quantifies).
+  static __mmask16 cmplt_mask(v16int_avx512 a, v16int_avx512 b) {
+    return _mm512_cmplt_epi32_mask(a.v_, b.v_);
+  }
+  static v16int_avx512 merge(__mmask16 mask, v16int_avx512 t,
+                             v16int_avx512 f) {
+    return v16int_avx512(_mm512_mask_blend_epi32(mask, f.v_, t.v_));
+  }
+
+  [[nodiscard]] std::int32_t hadd() const {
+    return _mm512_reduce_add_epi32(v_);
+  }
+
+  [[nodiscard]] __m512i raw() const { return v_; }
+
+ private:
+  __m512i v_;
+};
+
+}  // namespace vpic::v4
+#endif  // __AVX512F__

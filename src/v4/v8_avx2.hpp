@@ -1,0 +1,131 @@
+// v4/v8_avx2.hpp
+//
+// AVX2 (256-bit, 8-lane) implementation of the ad hoc SIMD API. Again a
+// full re-implementation per ISA, as in VPIC 1.2 (Fig. 1).
+#pragma once
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace vpic::v4 {
+
+class v8float_avx2 {
+ public:
+  static constexpr int width = 8;
+  static constexpr const char* isa = "AVX2";
+
+  v8float_avx2() : v_(_mm256_setzero_ps()) {}
+  explicit v8float_avx2(float a) : v_(_mm256_set1_ps(a)) {}
+  explicit v8float_avx2(__m256 v) : v_(v) {}
+
+  static v8float_avx2 load(const float* p) {
+    return v8float_avx2(_mm256_loadu_ps(p));
+  }
+  void store(float* p) const { _mm256_storeu_ps(p, v_); }
+
+  static v8float_avx2 gather(const float* base, const int* idx) {
+    __m256i vi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+    return v8float_avx2(_mm256_i32gather_ps(base, vi, 4));
+  }
+
+  float operator[](int i) const {
+    alignas(32) float tmp[8];
+    _mm256_store_ps(tmp, v_);
+    return tmp[i];
+  }
+  void set(int i, float x) {
+    alignas(32) float tmp[8];
+    _mm256_store_ps(tmp, v_);
+    tmp[i] = x;
+    v_ = _mm256_load_ps(tmp);
+  }
+
+  friend v8float_avx2 operator+(v8float_avx2 a, v8float_avx2 b) {
+    return v8float_avx2(_mm256_add_ps(a.v_, b.v_));
+  }
+  friend v8float_avx2 operator-(v8float_avx2 a, v8float_avx2 b) {
+    return v8float_avx2(_mm256_sub_ps(a.v_, b.v_));
+  }
+  friend v8float_avx2 operator*(v8float_avx2 a, v8float_avx2 b) {
+    return v8float_avx2(_mm256_mul_ps(a.v_, b.v_));
+  }
+  friend v8float_avx2 operator/(v8float_avx2 a, v8float_avx2 b) {
+    return v8float_avx2(_mm256_div_ps(a.v_, b.v_));
+  }
+
+  static v8float_avx2 fma(v8float_avx2 a, v8float_avx2 b, v8float_avx2 c) {
+    return v8float_avx2(_mm256_fmadd_ps(a.v_, b.v_, c.v_));
+  }
+
+  static v8float_avx2 sqrt(v8float_avx2 a) {
+    return v8float_avx2(_mm256_sqrt_ps(a.v_));
+  }
+
+  static v8float_avx2 rsqrt(v8float_avx2 a) {
+    __m256 est = _mm256_rsqrt_ps(a.v_);
+    __m256 half_a = _mm256_mul_ps(_mm256_set1_ps(0.5f), a.v_);
+    __m256 e2 = _mm256_mul_ps(est, est);
+    __m256 corr =
+        _mm256_sub_ps(_mm256_set1_ps(1.5f), _mm256_mul_ps(half_a, e2));
+    return v8float_avx2(_mm256_mul_ps(est, corr));
+  }
+
+  static v8float_avx2 min(v8float_avx2 a, v8float_avx2 b) {
+    return v8float_avx2(_mm256_min_ps(a.v_, b.v_));
+  }
+  static v8float_avx2 max(v8float_avx2 a, v8float_avx2 b) {
+    return v8float_avx2(_mm256_max_ps(a.v_, b.v_));
+  }
+
+  float hsum() const {
+    __m128 lo = _mm256_castps256_ps128(v_);
+    __m128 hi = _mm256_extractf128_ps(v_, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+    return _mm_cvtss_f32(s);
+  }
+
+  /// 8x8 transpose across eight registers (unpack/shuffle/permute ladder —
+  /// the kind of code that must be rewritten for each ISA).
+  static void transpose(v8float_avx2& r0, v8float_avx2& r1, v8float_avx2& r2,
+                        v8float_avx2& r3, v8float_avx2& r4, v8float_avx2& r5,
+                        v8float_avx2& r6, v8float_avx2& r7) {
+    __m256 t0 = _mm256_unpacklo_ps(r0.v_, r1.v_);
+    __m256 t1 = _mm256_unpackhi_ps(r0.v_, r1.v_);
+    __m256 t2 = _mm256_unpacklo_ps(r2.v_, r3.v_);
+    __m256 t3 = _mm256_unpackhi_ps(r2.v_, r3.v_);
+    __m256 t4 = _mm256_unpacklo_ps(r4.v_, r5.v_);
+    __m256 t5 = _mm256_unpackhi_ps(r4.v_, r5.v_);
+    __m256 t6 = _mm256_unpacklo_ps(r6.v_, r7.v_);
+    __m256 t7 = _mm256_unpackhi_ps(r6.v_, r7.v_);
+
+    __m256 s0 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+    __m256 s1 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+    __m256 s2 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+    __m256 s3 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+    __m256 s4 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(1, 0, 1, 0));
+    __m256 s5 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(3, 2, 3, 2));
+    __m256 s6 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(1, 0, 1, 0));
+    __m256 s7 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(3, 2, 3, 2));
+
+    r0.v_ = _mm256_permute2f128_ps(s0, s4, 0x20);
+    r1.v_ = _mm256_permute2f128_ps(s1, s5, 0x20);
+    r2.v_ = _mm256_permute2f128_ps(s2, s6, 0x20);
+    r3.v_ = _mm256_permute2f128_ps(s3, s7, 0x20);
+    r4.v_ = _mm256_permute2f128_ps(s0, s4, 0x31);
+    r5.v_ = _mm256_permute2f128_ps(s1, s5, 0x31);
+    r6.v_ = _mm256_permute2f128_ps(s2, s6, 0x31);
+    r7.v_ = _mm256_permute2f128_ps(s3, s7, 0x31);
+  }
+
+  [[nodiscard]] __m256 raw() const { return v_; }
+
+ private:
+  __m256 v_;
+};
+
+}  // namespace vpic::v4
+
+#endif  // __AVX2__

@@ -1,0 +1,156 @@
+// Tests for the in-situ diagnostics: energy history bookkeeping, fluid
+// moments, momentum histograms, and CSV export formats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/core.hpp"
+
+namespace core = vpic::core;
+namespace pk = vpic::pk;
+using pk::index_t;
+
+TEST(EnergyHistory, TracksAndComputesDrift) {
+  core::EnergyHistory h;
+  h.record(0, 1.0, {2.0, 3.0});
+  h.record(10, 1.5, {2.0, 2.5});   // total unchanged: 6.0
+  h.record(20, 1.0, {2.0, 3.6});   // total 6.6: 10% drift
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_DOUBLE_EQ(h.total(0), 6.0);
+  EXPECT_DOUBLE_EQ(h.kinetic(2), 5.6);
+  EXPECT_NEAR(h.max_relative_drift(), 0.1, 1e-12);
+}
+
+TEST(EnergyHistory, CsvHasHeaderAndRows) {
+  core::EnergyHistory h;
+  h.record(0, 1.0, {2.0});
+  h.record(5, 1.25, {2.25});
+  const std::string csv = h.to_csv();
+  EXPECT_NE(csv.find("step,field,ke_0,total"), std::string::npos);
+  EXPECT_NE(csv.find("\n0,"), std::string::npos);
+  EXPECT_NE(csv.find("\n5,"), std::string::npos);
+}
+
+TEST(EnergyHistory, EmptyDriftIsZero) {
+  core::EnergyHistory h;
+  EXPECT_EQ(h.max_relative_drift(), 0.0);
+}
+
+TEST(Moments, UniformPlasmaDensityIsUniform) {
+  core::SimulationConfig cfg;
+  cfg.grid = core::Grid(4, 4, 4, 4, 4, 4, 0.1f);
+  core::Simulation sim(cfg);
+  const auto e = sim.add_species("e", -1.0f, 1.0f, 1000);
+  sim.load_uniform_plasma(e, 8, 0.0f, 0.1f, 0.0f, 0.0f);
+  const auto m = core::compute_moments(sim.species(e), cfg.grid);
+  for (int iz = 1; iz <= 4; ++iz)
+    for (int iy = 1; iy <= 4; ++iy)
+      for (int ix = 1; ix <= 4; ++ix) {
+        const auto v = cfg.grid.voxel(ix, iy, iz);
+        EXPECT_NEAR(m.density(v), 1.0f, 1e-5f);   // unit density by design
+        EXPECT_NEAR(m.ux(v), 0.1f, 1e-5f);        // cold drifting beam
+        EXPECT_NEAR(m.uy(v), 0.0f, 1e-6f);
+      }
+}
+
+TEST(Moments, EmptyCellsZero) {
+  core::Grid g(4, 4, 4, 4, 4, 4, 0.1f);
+  core::Species sp("e", -1.0f, 1.0f, 10);
+  core::Particle p{};
+  p.i = static_cast<std::int32_t>(g.voxel(2, 2, 2));
+  p.w = 2.0f;
+  p.uz = 0.5f;
+  sp.p(0) = p;
+  sp.np = 1;
+  const auto m = core::compute_moments(sp, g);
+  EXPECT_NEAR(m.density(g.voxel(2, 2, 2)), 2.0f, 1e-6f);
+  EXPECT_NEAR(m.uz(g.voxel(2, 2, 2)), 0.5f, 1e-6f);
+  EXPECT_EQ(m.density(g.voxel(1, 1, 1)), 0.0f);
+  EXPECT_EQ(m.uz(g.voxel(1, 1, 1)), 0.0f);
+}
+
+TEST(MomentumHistogram, CountsAndClamps) {
+  core::Grid g(4, 4, 4, 4, 4, 4, 0.1f);
+  core::Species sp("e", -1.0f, 1.0f, 100);
+  for (int i = 0; i < 100; ++i) {
+    core::Particle p{};
+    p.i = static_cast<std::int32_t>(g.voxel(1, 1, 1));
+    p.ux = -1.0f + 0.02f * static_cast<float>(i);  // [-1, 0.98]
+    sp.p(i) = p;
+  }
+  sp.np = 100;
+  const auto h = core::momentum_histogram(sp, core::MomentumAxis::X, -0.5f,
+                                          0.5f, 10);
+  EXPECT_EQ(h.total(), 100);
+  // 25 particles below -0.5 land in bin 0 (plus in-range share).
+  EXPECT_GT(h.counts.front(), h.counts[4]);
+  const std::string csv = h.to_csv();
+  EXPECT_NE(csv.find("bin_center,count"), std::string::npos);
+}
+
+TEST(MomentumHistogram, MaxwellianIsSymmetricAndCentered) {
+  core::SimulationConfig cfg;
+  cfg.grid = core::Grid(6, 6, 6, 6, 6, 6, 0.1f);
+  core::Simulation sim(cfg);
+  const auto e = sim.add_species("e", -1.0f, 1.0f, 10000);
+  sim.load_uniform_plasma(e, 16, 0.2f);
+  const auto h = core::momentum_histogram(sim.species(e),
+                                          core::MomentumAxis::Y, -1.0f,
+                                          1.0f, 21);
+  EXPECT_EQ(h.total(), sim.species(e).np);
+  // Mode at the center bin; tails nearly symmetric.
+  const std::size_t mid = 10;
+  for (std::size_t b = 0; b < 21; ++b)
+    EXPECT_LE(h.counts[b], h.counts[mid]) << b;
+  const double left = static_cast<double>(
+      h.counts[mid - 3] + h.counts[mid - 2] + h.counts[mid - 1]);
+  const double right = static_cast<double>(
+      h.counts[mid + 1] + h.counts[mid + 2] + h.counts[mid + 3]);
+  EXPECT_NEAR(left / right, 1.0, 0.15);
+}
+
+TEST(FieldPlane, CsvLayout) {
+  core::Grid g(3, 2, 2, 3, 2, 2, 0.1f);
+  core::FieldArray f(g);
+  f.ey(g.voxel(2, 1, 1)) = 7.5f;
+  const std::string csv = core::field_plane_csv(f.ey, g, 1);
+  EXPECT_NE(csv.find("ix,iy,value"), std::string::npos);
+  EXPECT_NE(csv.find("2,1,7.5"), std::string::npos);
+  // 3x2 interior points + header.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);
+}
+
+TEST(Diagnostics, EnergyHistoryOnRealRun) {
+  core::SimulationConfig cfg;
+  cfg.grid = core::Grid(6, 6, 6, 6, 6, 6, 0);
+  cfg.grid.dt = core::Grid::courant_dt(1, 1, 1, 0.6f);
+  core::Simulation sim(cfg);
+  const auto e = sim.add_species("e", -1.0f, 1.0f, 4000);
+  const auto i = sim.add_species("i", 1.0f, 100.0f, 4000);
+  sim.load_uniform_plasma(e, 4, 0.2f);
+  sim.load_uniform_plasma(i, 4, 0.02f);
+  core::EnergyHistory hist;
+  for (int s = 0; s < 5; ++s) {
+    const auto en = sim.energies();
+    hist.record(sim.step_count(), en.field, en.species);
+    sim.run(4);
+  }
+  EXPECT_EQ(hist.size(), 5u);
+  EXPECT_LT(hist.max_relative_drift(), 0.05);
+}
+
+TEST(Diagnostics, SimulationRecordsOnInterval) {
+  core::SimulationConfig cfg;
+  cfg.grid = core::Grid(5, 5, 5, 5, 5, 5, 0);
+  cfg.grid.dt = core::Grid::courant_dt(1, 1, 1, 0.6f);
+  cfg.energy_interval = 3;
+  core::Simulation sim(cfg);
+  const auto e = sim.add_species("e", -1.0f, 1.0f, 2000);
+  sim.load_uniform_plasma(e, 3, 0.1f);
+  sim.run(10);
+  const auto& h = sim.energy_history();
+  ASSERT_EQ(h.size(), 3u);  // steps 3, 6, 9
+  EXPECT_EQ(h.step(0), 3);
+  EXPECT_EQ(h.step(2), 9);
+  EXPECT_LT(h.max_relative_drift(), 0.05);
+}

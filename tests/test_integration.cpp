@@ -1,0 +1,216 @@
+// Integration tests: the four vectorization strategies must agree on the
+// physics; the decks must produce their signature behaviour (laser
+// injection, Weibel growth, reconnection onset); sorting must interact
+// correctly with a running simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/core.hpp"
+
+namespace core = vpic::core;
+namespace pk = vpic::pk;
+using pk::index_t;
+
+namespace {
+
+core::Simulation make_plasma(core::VectorStrategy strat,
+                             vpic::sort::SortOrder order =
+                                 vpic::sort::SortOrder::Standard,
+                             int sort_interval = 0) {
+  core::SimulationConfig cfg;
+  cfg.grid = core::Grid(6, 6, 6, 6, 6, 6, 0);
+  cfg.grid.dt = core::Grid::courant_dt(1, 1, 1, 0.6f);
+  cfg.strategy = strat;
+  cfg.sort_order = order;
+  cfg.sort_interval = sort_interval;
+  cfg.seed = 77;
+  core::Simulation sim(cfg);
+  const auto e = sim.add_species("e", -1.0f, 1.0f, 4000);
+  const auto i = sim.add_species("i", 1.0f, 50.0f, 4000);
+  sim.load_uniform_plasma(e, 4, 0.15f, 0.05f, 0.0f, -0.02f);
+  sim.load_uniform_plasma(i, 4, 0.01f);
+  return sim;
+}
+
+}  // namespace
+
+TEST(StrategyEquivalence, SingleStepMomentaMatch) {
+  auto ref = make_plasma(core::VectorStrategy::Auto);
+  ref.step();
+  for (auto strat : {core::VectorStrategy::Guided,
+                     core::VectorStrategy::Manual,
+                     core::VectorStrategy::AdHoc}) {
+    auto sim = make_plasma(strat);
+    sim.step();
+    SCOPED_TRACE(core::to_string(strat));
+    const auto& pr = ref.species(0);
+    const auto& ps = sim.species(0);
+    ASSERT_EQ(pr.np, ps.np);
+    double max_du = 0, max_dx = 0;
+    for (index_t n = 0; n < pr.np; ++n) {
+      max_du = std::max<double>(
+          max_du, std::abs(pr.p(n).ux - ps.p(n).ux) +
+                      std::abs(pr.p(n).uy - ps.p(n).uy) +
+                      std::abs(pr.p(n).uz - ps.p(n).uz));
+      max_dx = std::max<double>(max_dx, std::abs(pr.p(n).dx - ps.p(n).dx));
+      EXPECT_EQ(pr.p(n).i, ps.p(n).i) << "particle " << n;
+    }
+    // Manual/AdHoc reassociate and use Newton rsqrt: small fp drift only.
+    EXPECT_LT(max_du, 5e-5);
+    EXPECT_LT(max_dx, 5e-4);
+  }
+}
+
+TEST(StrategyEquivalence, MultiStepEnergiesMatch) {
+  const double ref = [&] {
+    auto sim = make_plasma(core::VectorStrategy::Auto);
+    sim.run(10);
+    return sim.energies().total();
+  }();
+  for (auto strat : {core::VectorStrategy::Guided,
+                     core::VectorStrategy::Manual,
+                     core::VectorStrategy::AdHoc}) {
+    auto sim = make_plasma(strat);
+    sim.run(10);
+    EXPECT_NEAR(sim.energies().total(), ref, 2e-4 * ref)
+        << core::to_string(strat);
+  }
+}
+
+TEST(StrategyEquivalence, AllStrategiesWithAllSortOrders) {
+  for (auto strat : {core::VectorStrategy::Auto, core::VectorStrategy::Guided,
+                     core::VectorStrategy::Manual,
+                     core::VectorStrategy::AdHoc}) {
+    for (auto order :
+         {vpic::sort::SortOrder::Standard, vpic::sort::SortOrder::Strided,
+          vpic::sort::SortOrder::TiledStrided}) {
+      auto sim = make_plasma(strat, order, /*sort_interval=*/2);
+      sim.run(6);
+      EXPECT_TRUE(std::isfinite(sim.energies().total()))
+          << core::to_string(strat) << "/" << vpic::sort::to_string(order);
+    }
+  }
+}
+
+TEST(Decks, LpiLaserInjectsFieldEnergy) {
+  core::decks::LpiParams p;
+  p.nx = 16;
+  p.ny = 6;
+  p.nz = 6;
+  p.ppc = 2;
+  auto sim = core::decks::make_lpi(p);
+  const double e0 = sim.energies().field;
+  sim.run(30);
+  const auto e1 = sim.energies();
+  EXPECT_GT(e1.field, e0 + 1e-6) << "laser antenna injected no energy";
+  EXPECT_TRUE(std::isfinite(e1.total()));
+}
+
+TEST(Decks, LpiPlasmaOnlyInSlab) {
+  core::decks::LpiParams p;
+  p.nx = 20;
+  p.ny = 4;
+  p.nz = 4;
+  p.ppc = 2;
+  p.slab_begin = 0.5f;
+  auto sim = core::decks::make_lpi(p);
+  const auto& g = sim.grid();
+  const auto& sp = sim.species(0);
+  ASSERT_GT(sp.np, 0);
+  for (index_t n = 0; n < sp.np; ++n) {
+    int ix, iy, iz;
+    g.cell_of(sp.p(n).i, ix, iy, iz);
+    EXPECT_GE(ix, 11) << "particle outside the plasma slab";
+  }
+}
+
+TEST(Decks, WeibelInstabilityGrowsMagneticEnergy) {
+  core::decks::WeibelParams p;
+  p.nx = 12;
+  p.ny = 12;
+  p.nz = 12;
+  p.ppc = 8;
+  p.u_beam = 0.4f;
+  auto sim = core::decks::make_weibel(p);
+  const double b0 = sim.fields().field_energy();
+  sim.run(60);
+  const double b1 = sim.fields().field_energy();
+  // Counter-streaming beams must grow EM fields from noise by orders of
+  // magnitude (filamentation instability).
+  EXPECT_GT(b1, 100.0 * std::max(b0, 1e-12));
+  EXPECT_TRUE(std::isfinite(b1));
+}
+
+TEST(Decks, ReconnectionHarrisEquilibriumRuns) {
+  core::decks::ReconnectionParams p;
+  p.nx = 12;
+  p.ny = 4;
+  p.nz = 12;
+  p.ppc = 4;
+  auto sim = core::decks::make_reconnection(p);
+  // The Harris field must have opposite Bx signs above/below the sheet.
+  const auto& g = sim.grid();
+  const float b_low = sim.fields().bx(g.voxel(6, 2, 2));
+  const float b_high = sim.fields().bx(g.voxel(6, 2, g.nz - 1));
+  EXPECT_LT(b_low, 0.0f);
+  EXPECT_GT(b_high, 0.0f);
+  const double e0 = sim.energies().total();
+  sim.run(20);
+  const double e1 = sim.energies().total();
+  EXPECT_TRUE(std::isfinite(e1));
+  EXPECT_NEAR(e1, e0, 0.1 * e0);
+}
+
+TEST(SortIntegration, ParticlesSortedOnInterval) {
+  auto sim = make_plasma(core::VectorStrategy::Auto,
+                         vpic::sort::SortOrder::Standard,
+                         /*sort_interval=*/5);
+  sim.run(5);  // triggers a sort at step 5
+  const auto keys = sim.species(0).cell_keys();
+  EXPECT_TRUE(vpic::sort::is_sorted_ascending(keys));
+}
+
+TEST(SortIntegration, StridedOrderAfterSort) {
+  auto sim = make_plasma(core::VectorStrategy::Auto,
+                         vpic::sort::SortOrder::Strided,
+                         /*sort_interval=*/5);
+  sim.run(5);
+  const auto keys = sim.species(0).cell_keys();
+  EXPECT_TRUE(vpic::sort::is_strided_order(keys));
+  EXPECT_FALSE(vpic::sort::is_sorted_ascending(keys));
+}
+
+TEST(SortIntegration, SortPreservesParticleSet) {
+  auto sim = make_plasma(core::VectorStrategy::Auto);
+  auto& sp = sim.species(0);
+  double ke_before = sp.kinetic_energy();
+  core::sort_particles(sp, vpic::sort::SortOrder::TiledStrided, 8);
+  EXPECT_NEAR(sp.kinetic_energy(), ke_before, 1e-9 * std::abs(ke_before));
+}
+
+TEST(PushTiming, AccumulatesAcrossSteps) {
+  auto sim = make_plasma(core::VectorStrategy::Auto);
+  EXPECT_EQ(sim.push_seconds(), 0.0);
+  sim.run(3);
+  EXPECT_GT(sim.push_seconds(), 0.0);
+}
+
+TEST(QuasiPlanar, SingleCellAxisRunsStable) {
+  // nz = 1 degenerates to a quasi-2D run (periodic wrap onto the same
+  // cell); the engine must remain stable and conservative.
+  core::SimulationConfig cfg;
+  cfg.grid = core::Grid(12, 12, 1, 12, 12, 1, 0);
+  cfg.grid.dt = core::Grid::courant_dt(1, 1, 1, 0.5f);
+  core::Simulation sim(cfg);
+  const auto e = sim.add_species("e", -1.0f, 1.0f, 4000);
+  const auto i = sim.add_species("i", 1.0f, 100.0f, 4000);
+  sim.load_uniform_plasma(e, 8, 0.1f);
+  sim.load_uniform_plasma(i, 8, 0.01f);
+  const double e0 = sim.energies().total();
+  sim.run(20);
+  const double e1 = sim.energies().total();
+  EXPECT_TRUE(std::isfinite(e1));
+  EXPECT_NEAR(e1, e0, 0.05 * e0);
+  EXPECT_EQ(sim.species(e).np, 12 * 12 * 8);
+}

@@ -1,0 +1,97 @@
+// Tests for the RAJAPerf-derived microkernels: all three strategies must
+// produce the same numerical results (the benchmark compares their speed,
+// so their correctness equivalence is load-bearing).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/rajaperf_kernels.hpp"
+
+using namespace vpic;
+using kernels::Strategy;
+using pk::index_t;
+
+namespace {
+
+class AllStrategies : public ::testing::TestWithParam<Strategy> {};
+
+pk::View<double, 1> filled(const char* name, index_t n, double base,
+                           double step) {
+  pk::View<double, 1> v(name, n);
+  for (index_t i = 0; i < n; ++i)
+    v(i) = base + step * static_cast<double>(i % 1000);
+  return v;
+}
+
+}  // namespace
+
+TEST_P(AllStrategies, AxpyMatchesReference) {
+  const index_t n = 10007;  // odd: exercises vector tails
+  auto x = filled("x", n, 1.0, 0.001);
+  auto y = filled("y", n, 2.0, 0.002);
+  const double a = 1.5;
+  kernels::axpy(GetParam(), a, x, y);
+  for (index_t i = 0; i < n; i += 997) {
+    const double ref =
+        (2.0 + 0.002 * static_cast<double>(i % 1000)) +
+        a * (1.0 + 0.001 * static_cast<double>(i % 1000));
+    EXPECT_NEAR(y(i), ref, 1e-12) << "i=" << i;
+  }
+}
+
+TEST_P(AllStrategies, PlanckianMatchesLibm) {
+  const index_t n = 4099;
+  auto x = filled("x", n, 0.5, 0.003);
+  auto v = filled("v", n, 1.0, 0.001);
+  auto u = filled("u", n, 2.0, 0.0);
+  pk::View<double, 1> y("y", n);
+  kernels::planckian(GetParam(), x, v, u, y);
+  for (index_t i = 0; i < n; i += 101) {
+    const double ref = u(i) / (std::exp(x(i) / v(i)) - 1.0);
+    EXPECT_NEAR(y(i), ref, std::abs(ref) * 1e-12) << "i=" << i;
+  }
+}
+
+TEST_P(AllStrategies, PiReduceConvergesToPi) {
+  for (index_t n : {1000, 10007, 100003}) {
+    const double pi = kernels::pi_reduce(GetParam(), n);
+    // Midpoint rule error ~ 1/(24 n^2).
+    EXPECT_NEAR(pi, 3.14159265358979, 1.0 / (static_cast<double>(n) *
+                                             static_cast<double>(n)))
+        << "n=" << n;
+  }
+}
+
+TEST_P(AllStrategies, PlanckianLargeNegativeDomain) {
+  // exp of strongly negative arguments: denominator -> -1, y -> -u.
+  const index_t n = 257;
+  pk::View<double, 1> x("x", n), v("v", n), u("u", n), y("y", n);
+  pk::deep_copy(x, -100.0);
+  pk::deep_copy(v, 1.0);
+  pk::deep_copy(u, 3.0);
+  kernels::planckian(GetParam(), x, v, u, y);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(y(i), -3.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AllStrategies,
+                         ::testing::Values(Strategy::Auto, Strategy::Guided,
+                                           Strategy::Manual),
+                         [](const auto& info) {
+                           return std::string(
+                               kernels::to_string(info.param));
+                         });
+
+TEST(Kernels, StrategiesAgreePairwise) {
+  const index_t n = 8192;
+  auto x = filled("x", n, 0.2, 0.0007);
+  auto v = filled("v", n, 0.9, 0.0005);
+  auto u = filled("u", n, 1.0, 0.0002);
+  pk::View<double, 1> ya("ya", n), yg("yg", n), ym("ym", n);
+  kernels::planckian(Strategy::Auto, x, v, u, ya);
+  kernels::planckian(Strategy::Guided, x, v, u, yg);
+  kernels::planckian(Strategy::Manual, x, v, u, ym);
+  for (index_t i = 0; i < n; i += 31) {
+    EXPECT_DOUBLE_EQ(ya(i), yg(i)) << i;  // same libm path
+    EXPECT_NEAR(ym(i), ya(i), std::abs(ya(i)) * 1e-13) << i;  // vector exp
+  }
+}

@@ -1,0 +1,219 @@
+// Property-based (randomized) test sweeps across module boundaries:
+// charge conservation of random particle walks, sort fuzzing against
+// std::sort, strategy-equivalence fuzzing of the push, and cache-model
+// invariants under random streams. Deterministic seeds so failures
+// reproduce.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "core/core.hpp"
+#include "gpusim/gpusim.hpp"
+#include "sort/order_checks.hpp"
+#include "sort/sorters.hpp"
+
+namespace core = vpic::core;
+namespace pk = vpic::pk;
+namespace vs = vpic::sort;
+using pk::index_t;
+
+// ----------------------------------------------------------------------
+// move_p: random walks conserve deposited charge flux exactly.
+// ----------------------------------------------------------------------
+
+class MovePFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MovePFuzz, RandomWalkDepositsMatchDisplacement) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_real_distribution<float> pos(-0.999f, 0.999f);
+  std::uniform_real_distribution<float> disp(-1.8f, 1.8f);  // multi-crossing
+  std::uniform_int_distribution<int> cell(1, 6);
+
+  const core::Grid g(6, 6, 6, 6, 6, 6, 0.1f);
+  core::AccumulatorArray acc(g);
+  acc.clear();
+
+  float total_dx = 0, total_dy = 0, total_dz = 0;
+  const float qw = 1.0f;
+  for (int trial = 0; trial < 200; ++trial) {
+    core::Particle p{};
+    p.dx = pos(rng);
+    p.dy = pos(rng);
+    p.dz = pos(rng);
+    p.i = static_cast<std::int32_t>(g.voxel(cell(rng), cell(rng), cell(rng)));
+    const float ddx = disp(rng), ddy = disp(rng), ddz = disp(rng);
+    const auto r = core::move_p(p, ddx, ddy, ddz, qw, acc, g);
+    EXPECT_NE(r, core::MoveResult::Exited);
+    EXPECT_TRUE(g.is_interior(p.i));
+    EXPECT_LE(std::abs(p.dx), 1.0f + 1e-5f);
+    total_dx += ddx;
+    total_dy += ddy;
+    total_dz += ddz;
+  }
+
+  // Charge-flux conservation: the sum of all accumulator jx slots equals
+  // 4 * q * (total x displacement), regardless of how segments were split
+  // across cells and periodic wraps. fp32 accumulation over ~200 * 16
+  // deposits: tolerance scales with the walk length.
+  double jx_sum = 0, jy_sum = 0, jz_sum = 0;
+  for (index_t v = 0; v < acc.a.size(); ++v)
+    for (int c = 0; c < 4; ++c) {
+      jx_sum += acc.a(v).jx[c];
+      jy_sum += acc.a(v).jy[c];
+      jz_sum += acc.a(v).jz[c];
+    }
+  EXPECT_NEAR(jx_sum, 4.0 * qw * total_dx, 2e-4);
+  EXPECT_NEAR(jy_sum, 4.0 * qw * total_dy, 2e-4);
+  EXPECT_NEAR(jz_sum, 4.0 * qw * total_dz, 2e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MovePFuzz, ::testing::Range(1, 9));
+
+// ----------------------------------------------------------------------
+// Continuity fuzz: random plasmas, random strategies — div J + drho/dt = 0.
+// ----------------------------------------------------------------------
+
+class ContinuityFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContinuityFuzz, HoldsForRandomPlasmaAndStrategy) {
+  const int seed = GetParam();
+  core::SimulationConfig cfg;
+  cfg.grid = core::Grid(5, 5, 5, 5, 5, 5, 0);
+  cfg.grid.dt = core::Grid::courant_dt(1, 1, 1, 0.65f);
+  cfg.sort_interval = 0;
+  cfg.seed = static_cast<std::uint64_t>(seed) * 101;
+  cfg.strategy = static_cast<core::VectorStrategy>(seed % 4);
+  core::Simulation sim(cfg);
+  const auto s = sim.add_species("e", -1.0f, 1.0f, 2000);
+  sim.load_uniform_plasma(s, 2, 0.3f, 0.1f * (seed % 3), -0.05f, 0.12f);
+
+  const auto rho0 = sim.charge_density();
+  sim.interpolator().load(sim.fields());
+  sim.accumulator().clear();
+  core::advance_species(sim.species(s), sim.interpolator(),
+                        sim.accumulator(), cfg.grid, cfg.strategy);
+  sim.accumulator().reduce_ghosts_periodic();
+  sim.accumulator().unload(sim.fields());
+  const auto rho1 = sim.charge_density();
+
+  const auto& g = sim.grid();
+  const auto& f = sim.fields();
+  auto wrap = [&](int i, int n) { return i < 1 ? i + n : i; };
+  double worst = 0, scale = 0;
+  for (int iz = 1; iz <= g.nz; ++iz)
+    for (int iy = 1; iy <= g.ny; ++iy)
+      for (int ix = 1; ix <= g.nx; ++ix) {
+        const index_t v = g.voxel(ix, iy, iz);
+        const double drho = (rho1(v) - rho0(v)) / g.dt;
+        const double divj =
+            (f.jx(v) - f.jx(g.voxel(wrap(ix - 1, g.nx), iy, iz))) / g.dx +
+            (f.jy(v) - f.jy(g.voxel(ix, wrap(iy - 1, g.ny), iz))) / g.dy +
+            (f.jz(v) - f.jz(g.voxel(ix, iy, wrap(iz - 1, g.nz)))) / g.dz;
+        worst = std::max(worst, std::abs(drho + divj));
+        scale = std::max({scale, std::abs(drho), std::abs(divj)});
+      }
+  ASSERT_GT(scale, 0.0);
+  EXPECT_LT(worst / scale, 5e-4)
+      << "strategy " << core::to_string(cfg.strategy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContinuityFuzz, ::testing::Range(0, 8));
+
+// ----------------------------------------------------------------------
+// Sorting fuzz across distributions.
+// ----------------------------------------------------------------------
+
+class SortFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SortFuzz, AllAlgorithmsPreservePairsOnSkewedInputs) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  std::uniform_int_distribution<index_t> size_dist(1, 3000);
+  const index_t n = size_dist(rng);
+
+  // Skewed (Zipf-ish) key distribution: realistic for particles bunched
+  // into few cells by an instability.
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const std::uint32_t nkeys = 1 + static_cast<std::uint32_t>(
+                                      u(rng) * 200);
+  pk::View<std::uint32_t, 1> keys("k", n), vals("v", n);
+  for (index_t i = 0; i < n; ++i) {
+    const double x = u(rng);
+    keys(i) = static_cast<std::uint32_t>(
+        static_cast<double>(nkeys) * x * x);  // quadratic skew
+    vals(i) = static_cast<std::uint32_t>(i);
+  }
+  pk::View<std::uint32_t, 1> k0("k0", n), v0("v0", n);
+  pk::deep_copy(k0, keys);
+  pk::deep_copy(v0, vals);
+
+  for (auto order : {vs::SortOrder::Standard, vs::SortOrder::Strided,
+                     vs::SortOrder::TiledStrided}) {
+    pk::View<std::uint32_t, 1> k("k", n), v("v", n);
+    pk::deep_copy(k, k0);
+    pk::deep_copy(v, v0);
+    const std::uint32_t tile = 1 + static_cast<std::uint32_t>(u(rng) * 64);
+    vs::sort_pairs(order, k, v, tile);
+    EXPECT_TRUE(vs::pairs_preserved(k, v, k0, v0))
+        << vs::to_string(order) << " n=" << n;
+    if (order == vs::SortOrder::Standard) {
+      EXPECT_TRUE(vs::is_sorted_ascending(k));
+    }
+    if (order == vs::SortOrder::Strided) {
+      EXPECT_TRUE(vs::is_strided_order(k));
+    }
+    if (order == vs::SortOrder::TiledStrided) {
+      EXPECT_TRUE(vs::is_tiled_strided_order(k, tile));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortFuzz, ::testing::Range(1, 13));
+
+TEST(SortFuzz, ComparisonBackendAgreesWithRadix) {
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const index_t n = 500 + trial * 137;
+    pk::View<std::uint32_t, 1> ka("ka", n), va("va", n), kb("kb", n),
+        vb("vb", n);
+    for (index_t i = 0; i < n; ++i) {
+      const auto k = static_cast<std::uint32_t>(rng() % 1000);
+      ka(i) = kb(i) = k;
+      va(i) = vb(i) = static_cast<std::uint32_t>(i);
+    }
+    vs::sort_by_key(ka, va);
+    vs::sort_by_key_comparison(kb, vb);
+    for (index_t i = 0; i < n; ++i) {
+      EXPECT_EQ(ka(i), kb(i));
+      EXPECT_EQ(va(i), vb(i));  // both stable: identical value order
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// Cache model invariants under random streams.
+// ----------------------------------------------------------------------
+
+TEST(CacheFuzz, HitsPlusMissesEqualsAccesses) {
+  std::mt19937_64 rng(7);
+  vpic::gpusim::CacheModel c(1 << 16, 64, 8);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) c.access(rng() % 4096);
+  EXPECT_EQ(c.hits() + c.misses(), static_cast<std::uint64_t>(n));
+  EXPECT_GT(c.hit_rate(), 0.0);
+  EXPECT_LT(c.hit_rate(), 1.0);
+}
+
+TEST(CacheFuzz, SmallerCacheNeverHitsMore) {
+  std::mt19937_64 rng(11);
+  std::vector<std::uint64_t> stream(30000);
+  for (auto& s : stream) s = rng() % 8192;
+  double prev_rate = -1;
+  for (const std::uint64_t kb : {16u, 64u, 256u, 1024u}) {
+    vpic::gpusim::CacheModel c(kb * 1024, 64, 16);
+    for (auto s : stream) c.access(s);
+    EXPECT_GE(c.hit_rate(), prev_rate) << kb << " KB";
+    prev_rate = c.hit_rate();
+  }
+}

@@ -1,0 +1,140 @@
+// Tests for the roofline module and the codestats (Fig. 1) scanner.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "codestats/codestats.hpp"
+#include "gpusim/device.hpp"
+#include "roofline/roofline.hpp"
+
+using namespace vpic;
+
+TEST(Roofline, RidgePoint) {
+  const auto& h100 = gpusim::device("H100");
+  const double ridge = roofline::ridge_ai(h100);
+  EXPECT_NEAR(ridge, h100.peak_fp32_gflops / h100.dram_bw_gbs, 1e-9);
+  // Below the ridge: bandwidth-limited attainable; above: compute.
+  EXPECT_LT(gpusim::roofline_attainable_gflops(h100, ridge * 0.5),
+            h100.peak_fp32_gflops);
+  EXPECT_EQ(gpusim::roofline_attainable_gflops(h100, ridge * 2.0),
+            h100.peak_fp32_gflops);
+}
+
+TEST(Roofline, AnalyzeComputesUtilization) {
+  const auto& dev = gpusim::device("A100");
+  gpusim::KernelProfile p;
+  p.flops = 1e9;
+  p.dram_bytes = 1'000'000'000;  // AI = 1
+  p.logical_bytes = p.dram_bytes;
+  const auto pt = roofline::analyze(dev, p, "test");
+  EXPECT_NEAR(pt.ai, 1.0, 1e-9);
+  EXPECT_NEAR(pt.attainable_gflops, dev.dram_bw_gbs, 1e-6);
+  // Kernel is DRAM-bound at AI=1: achieved == attainable.
+  EXPECT_NEAR(pt.utilization, 1.0, 1e-6);
+  EXPECT_EQ(pt.label, "test");
+}
+
+TEST(Roofline, PoorUtilizationFlagged) {
+  const auto& dev = gpusim::device("MI250");
+  gpusim::KernelProfile p;
+  p.flops = 1e9;
+  p.dram_bytes = 100'000'000;      // AI = 10
+  p.logical_bytes = p.dram_bytes;
+  p.atomic_serial = 500'000'000;   // contention wrecks throughput
+  const auto pt = roofline::analyze(dev, p, "contended");
+  EXPECT_LT(pt.utilization, 0.1);
+  EXPECT_EQ(pt.bound, gpusim::Bound::Atomic);
+}
+
+TEST(Roofline, ReportContainsAllKernels) {
+  const auto& dev = gpusim::device("H100");
+  gpusim::KernelProfile p;
+  p.flops = 1e9;
+  p.dram_bytes = 1'000'000'000;
+  p.logical_bytes = p.dram_bytes;
+  std::vector<roofline::RooflinePoint> pts{
+      roofline::analyze(dev, p, "alpha"),
+      roofline::analyze(dev, p, "beta")};
+  const std::string rep = roofline::format_report(dev, pts);
+  EXPECT_NE(rep.find("H100"), std::string::npos);
+  EXPECT_NE(rep.find("alpha"), std::string::npos);
+  EXPECT_NE(rep.find("beta"), std::string::npos);
+  EXPECT_NE(rep.find("ridge"), std::string::npos);
+}
+
+// ----------------------------------------------------------------------
+// codestats
+// ----------------------------------------------------------------------
+
+namespace {
+
+std::filesystem::path write_temp(const std::string& name,
+                                 const std::string& content) {
+  const auto dir = std::filesystem::temp_directory_path() / "vpic_codestats";
+  std::filesystem::create_directories(dir / "v4");
+  std::filesystem::create_directories(dir / "core");
+  const auto p = dir / name;
+  std::ofstream(p) << content;
+  return p;
+}
+
+}  // namespace
+
+TEST(CodeStats, CountsLineCategories) {
+  const auto f = write_temp("v4/sample_avx2.cpp",
+                            "// comment line\n"
+                            "\n"
+                            "int x = 1;  // trailing comment is code\n"
+                            "/* block\n"
+                            "   comment */\n"
+                            "int y = 2;\n");
+  const auto s = codestats::count_file(f);
+  EXPECT_EQ(s.code_lines, 2);
+  EXPECT_EQ(s.comment_lines, 3);
+  EXPECT_EQ(s.blank_lines, 1);
+}
+
+TEST(CodeStats, ClassifiesByPath) {
+  EXPECT_EQ(codestats::classify("src/v4/v8_avx2.hpp"), "simd:AVX2");
+  EXPECT_EQ(codestats::classify("src/v4/v16_avx512.hpp"), "simd:AVX512");
+  EXPECT_EQ(codestats::classify("src/v4/v4_sse.hpp"), "simd:SSE");
+  EXPECT_EQ(codestats::classify("src/v4/v4_portable.hpp"), "simd:portable");
+  EXPECT_EQ(codestats::classify("src/simd/vec.hpp"), "portable-simd");
+  EXPECT_EQ(codestats::classify("src/core/push.cpp"), "kernel");
+  EXPECT_EQ(codestats::classify("src/kernels/rajaperf_kernels.cpp"),
+            "kernel");
+  EXPECT_EQ(codestats::classify("src/pk/view.hpp"), "other");
+}
+
+TEST(CodeStats, ScanAggregates) {
+  write_temp("v4/a_avx2.cpp", "int a;\nint b;\n");
+  write_temp("core/push_x.cpp", "int c;\n");
+  const auto dir = std::filesystem::temp_directory_path() / "vpic_codestats";
+  const auto t = codestats::scan_tree(dir);
+  EXPECT_GE(t.total_code_lines, 3);
+  EXPECT_GT(t.fraction("simd:"), 0.0);
+  EXPECT_GT(t.fraction("kernel"), 0.0);
+  EXPECT_LE(t.fraction("simd:") + t.fraction("kernel") + t.fraction("other"),
+            1.0 + 1e-9);
+}
+
+TEST(CodeStats, MissingTreeIsEmpty) {
+  const auto t = codestats::scan_tree("/nonexistent/path/xyz");
+  EXPECT_EQ(t.total_code_lines, 0);
+  EXPECT_EQ(t.fraction("simd:"), 0.0);
+}
+
+TEST(CodeStats, ReferenceBreakdownSumsToHundred) {
+  double total = 0;
+  for (const auto& [k, v] : codestats::vpic12_reference_breakdown())
+    total += v;
+  EXPECT_NEAR(total, 100.0, 0.5);
+  // Headline claims of Fig. 1.
+  double simd = 0;
+  for (const auto& [k, v] : codestats::vpic12_reference_breakdown())
+    if (k.rfind("simd:", 0) == 0) simd += v;
+  EXPECT_GE(simd, 57.0);
+  EXPECT_NEAR(codestats::vpic12_reference_breakdown().at("kernels"), 11.0,
+              1e-9);
+}

@@ -1,0 +1,289 @@
+// Unit + property tests for the portable SIMD library (the manual
+// vectorization substrate): arithmetic vs scalar reference across widths,
+// masks and blending, math accuracy sweeps, register transposes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "simd/simd.hpp"
+
+using namespace vpic::simd;
+
+template <class Pair>
+class SimdOps : public ::testing::Test {};
+
+template <class T, int W>
+struct TW {
+  using type = T;
+  static constexpr int width = W;
+};
+
+using Widths =
+    ::testing::Types<TW<float, 1>, TW<float, 4>, TW<float, 8>,
+                     TW<float, 16>, TW<double, 2>, TW<double, 4>,
+                     TW<double, 8>, TW<std::int32_t, 4>, TW<std::int32_t, 8>>;
+TYPED_TEST_SUITE(SimdOps, Widths);
+
+TYPED_TEST(SimdOps, BroadcastAndLanes) {
+  using T = typename TypeParam::type;
+  constexpr int W = TypeParam::width;
+  simd<T, W> v(T{7});
+  for (int i = 0; i < W; ++i) EXPECT_EQ(v[i], T{7});
+  v.set(W - 1, T{9});
+  EXPECT_EQ(v[W - 1], T{9});
+}
+
+TYPED_TEST(SimdOps, LoadStoreRoundTrip) {
+  using T = typename TypeParam::type;
+  constexpr int W = TypeParam::width;
+  T in[W], out[W];
+  for (int i = 0; i < W; ++i) in[i] = static_cast<T>(i + 1);
+  auto v = simd<T, W>::load(in);
+  v.store(out);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TYPED_TEST(SimdOps, ArithmeticMatchesScalar) {
+  using T = typename TypeParam::type;
+  constexpr int W = TypeParam::width;
+  simd<T, W> a([](int i) { return static_cast<T>(i + 1); });
+  simd<T, W> b([](int i) { return static_cast<T>(2 * i + 1); });
+  auto sum = a + b, dif = a - b, prod = a * b;
+  for (int i = 0; i < W; ++i) {
+    EXPECT_EQ(sum[i], static_cast<T>((i + 1) + (2 * i + 1)));
+    EXPECT_EQ(dif[i], static_cast<T>((i + 1) - (2 * i + 1)));
+    EXPECT_EQ(prod[i], static_cast<T>((i + 1) * (2 * i + 1)));
+  }
+}
+
+TYPED_TEST(SimdOps, ComparisonsAndMaskOps) {
+  using T = typename TypeParam::type;
+  constexpr int W = TypeParam::width;
+  simd<T, W> a = simd<T, W>::iota();
+  simd<T, W> b(static_cast<T>(W / 2));
+  auto m = a < b;
+  EXPECT_EQ(m.count(), W / 2);
+  EXPECT_EQ((!m).count(), W - W / 2);
+  EXPECT_EQ((m || !m).count(), W);
+  EXPECT_EQ((m && !m).count(), 0);
+  EXPECT_EQ((a == a).count(), W);
+}
+
+TYPED_TEST(SimdOps, SelectBlends) {
+  using T = typename TypeParam::type;
+  constexpr int W = TypeParam::width;
+  simd<T, W> a = simd<T, W>::iota();
+  simd<T, W> hi(T{100}), lo(T{0});
+  auto r = select(a < simd<T, W>(static_cast<T>(2)), hi, lo);
+  for (int i = 0; i < W; ++i)
+    EXPECT_EQ(r[i], i < 2 ? T{100} : T{0}) << "lane " << i;
+}
+
+TYPED_TEST(SimdOps, MinMaxReduce) {
+  using T = typename TypeParam::type;
+  constexpr int W = TypeParam::width;
+  simd<T, W> a([](int i) { return static_cast<T>((i * 13) % 7); });
+  T mn = a[0], mx = a[0], sm = 0;
+  for (int i = 0; i < W; ++i) {
+    mn = std::min(mn, a[i]);
+    mx = std::max(mx, a[i]);
+    sm = static_cast<T>(sm + a[i]);
+  }
+  EXPECT_EQ(a.reduce_min(), mn);
+  EXPECT_EQ(a.reduce_max(), mx);
+  EXPECT_EQ(a.reduce_sum(), sm);
+}
+
+TYPED_TEST(SimdOps, GatherScatter) {
+  using T = typename TypeParam::type;
+  constexpr int W = TypeParam::width;
+  T table[64];
+  for (int i = 0; i < 64; ++i) table[i] = static_cast<T>(i * 3);
+  simd<std::int32_t, W> idx([](int i) { return (i * 7) % 64; });
+  auto g = simd<T, W>::gather(table, idx);
+  for (int i = 0; i < W; ++i)
+    EXPECT_EQ(g[i], static_cast<T>(((i * 7) % 64) * 3));
+  T out[64] = {};
+  g.scatter(out, idx);
+  for (int i = 0; i < W; ++i)
+    EXPECT_EQ(out[(i * 7) % 64], g[i]);
+}
+
+TEST(SimdWhere, MaskedAssignment) {
+  simd<float, 8> v(1.0f);
+  auto m = simd<float, 8>::iota() < simd<float, 8>(4.0f);
+  where(m, v) += simd<float, 8>(2.0f);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_FLOAT_EQ(v[i], i < 4 ? 3.0f : 1.0f);
+  where(m, v) = simd<float, 8>(-1.0f);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_FLOAT_EQ(v[i], i < 4 ? -1.0f : 1.0f);
+}
+
+TEST(SimdMath, SqrtExact) {
+  simd<double, 4> a([](int i) { return static_cast<double>(i * i); });
+  auto r = sqrt(a);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(r[i], i);
+}
+
+TEST(SimdMath, AbsAndFma) {
+  simd<float, 8> a([](int i) { return i % 2 ? -1.5f : 1.5f; });
+  auto r = abs(a);
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(r[i], 1.5f);
+  auto f = fma(simd<float, 8>(2.0f), simd<float, 8>(3.0f),
+               simd<float, 8>(4.0f));
+  EXPECT_FLOAT_EQ(f[0], 10.0f);
+}
+
+TEST(SimdMath, RsqrtAccuracy) {
+  simd<double, 4> a([](int i) { return 0.5 + i; });
+  auto r = rsqrt(a);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NEAR(r[i], 1.0 / std::sqrt(0.5 + i), 1e-12);
+}
+
+// Accuracy sweep for the vector exp against libm over the domain.
+class ExpAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExpAccuracy, DoubleWithin2e15Rel) {
+  const double x = GetParam();
+  simd<double, 4> v(x);
+  const auto r = vpic::simd::exp(v);
+  const double ref = std::exp(x);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NEAR(r[i], ref, std::abs(ref) * 2e-15 + 1e-300) << "x=" << x;
+}
+
+TEST_P(ExpAccuracy, FloatWithin4Ulp) {
+  const auto x = static_cast<float>(GetParam());
+  if (std::abs(x) > 80.0f) GTEST_SKIP() << "outside float clamp domain";
+  simd<float, 8> v(x);
+  const auto r = vpic::simd::exp(v);
+  const float ref = std::exp(x);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_NEAR(r[i], ref, std::abs(ref) * 5e-7f + 1e-40f) << "x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Domain, ExpAccuracy,
+    ::testing::Values(-700.0, -100.0, -10.0, -1.0, -0.1, -1e-8, 0.0, 1e-8,
+                      0.1, 0.5, 1.0, 2.0, 10.0, 50.0, 100.0, 700.0));
+
+TEST(SimdMath, ExpRandomSweepDouble) {
+  std::mt19937_64 rng(12345);
+  std::uniform_real_distribution<double> dist(-200.0, 200.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    simd<double, 8> v([&](int) { return dist(rng); });
+    const auto r = vpic::simd::exp(v);
+    for (int i = 0; i < 8; ++i) {
+      const double ref = std::exp(v[i]);
+      EXPECT_NEAR(r[i], ref, std::abs(ref) * 2e-15);
+    }
+  }
+}
+
+TEST(SimdMath, ExpSaturatesOutsideDomain) {
+  simd<double, 4> big(1000.0), small(-1000.0);
+  EXPECT_TRUE(std::isfinite(vpic::simd::exp(big)[0]));
+  EXPECT_NEAR(vpic::simd::exp(small)[0], 0.0, 1e-300);
+}
+
+TEST(Transpose, FourByFour) {
+  std::array<simd<float, 4>, 4> rows;
+  for (int r = 0; r < 4; ++r)
+    rows[r] = simd<float, 4>([r](int c) {
+      return static_cast<float>(r * 10 + c);
+    });
+  transpose<float, 4>(rows);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c)
+      EXPECT_FLOAT_EQ(rows[r][c], static_cast<float>(c * 10 + r));
+}
+
+TEST(Transpose, EightByEightRoundTrip) {
+  std::array<simd<float, 8>, 8> rows;
+  for (int r = 0; r < 8; ++r)
+    rows[r] = simd<float, 8>([r](int c) {
+      return static_cast<float>(r * 100 + c);
+    });
+  auto orig = rows;
+  transpose<float, 8>(rows);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) EXPECT_EQ(rows[r][c], orig[c][r]);
+  transpose<float, 8>(rows);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) EXPECT_EQ(rows[r][c], orig[r][c]);
+}
+
+TEST(Transpose, LoadTransposeAoS) {
+  // 8 "structs" of 8 floats.
+  float aos[64];
+  for (int s = 0; s < 8; ++s)
+    for (int f = 0; f < 8; ++f) aos[s * 8 + f] = static_cast<float>(s * 8 + f);
+  auto soa = load_transpose<float, 8>(aos, 8);
+  for (int f = 0; f < 8; ++f)
+    for (int s = 0; s < 8; ++s)
+      EXPECT_EQ(soa[f][s], static_cast<float>(s * 8 + f));
+  float back[64] = {};
+  store_transpose<float, 8>(soa, back, 8);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(back[i], aos[i]);
+}
+
+TEST(Abi, NativeWidthPositive) {
+  EXPECT_GE(native_width<float>(), 1);
+  EXPECT_GE(native_width<double>(), 1);
+  EXPECT_EQ(native_width<float>(), 2 * native_width<double>());
+  EXPECT_STRNE(native_isa_name(), "");
+}
+
+class LogAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(LogAccuracy, DoubleWithin4e15Rel) {
+  const double x = GetParam();
+  simd<double, 4> v(x);
+  const auto r = vpic::simd::log(v);
+  const double ref = std::log(x);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NEAR(r[i], ref, std::max(std::abs(ref), 1.0) * 4e-15) << "x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Domain, LogAccuracy,
+    ::testing::Values(1e-300, 1e-10, 0.1, 0.5, 0.99, 1.0, 1.01, 2.0,
+                      2.718281828, 10.0, 1e10, 1e300));
+
+TEST(SimdMath, LogRandomSweep) {
+  std::mt19937_64 rng(777);
+  std::uniform_real_distribution<double> mant(0.1, 10.0);
+  std::uniform_int_distribution<int> expo(-250, 250);
+  for (int trial = 0; trial < 200; ++trial) {
+    simd<double, 8> v([&](int) { return std::ldexp(mant(rng), expo(rng)); });
+    const auto r = vpic::simd::log(v);
+    for (int i = 0; i < 8; ++i) {
+      const double ref = std::log(v[i]);
+      EXPECT_NEAR(r[i], ref, std::max(std::abs(ref), 1.0) * 4e-15);
+    }
+  }
+}
+
+TEST(SimdMath, LogExpRoundTrip) {
+  simd<double, 4> x([](int i) { return 0.5 + 0.37 * i; });
+  const auto r = vpic::simd::log(vpic::simd::exp(x));
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(r[i], x[i], 1e-13);
+}
+
+TEST(SimdMath, Expm1AccurateNearZero) {
+  for (double x : {-0.09, -1e-8, -1e-15, 0.0, 1e-15, 1e-8, 0.05, 0.09}) {
+    simd<double, 4> v(x);
+    const auto r = vpic::simd::expm1(v);
+    const double ref = std::expm1(x);
+    EXPECT_NEAR(r[0], ref, std::abs(ref) * 1e-14 + 1e-300) << "x=" << x;
+  }
+}
+
+TEST(SimdMath, Expm1LargeMatchesExp) {
+  simd<double, 4> v(3.0);
+  EXPECT_NEAR(vpic::simd::expm1(v)[0], std::expm1(3.0),
+              std::expm1(3.0) * 1e-13);
+}

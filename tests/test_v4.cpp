@@ -1,0 +1,270 @@
+// Tests for the ad hoc (VPIC 1.2-style) per-ISA SIMD library: each
+// available ISA implementation is checked against the portable reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "v4/v4.hpp"
+
+using namespace vpic::v4;
+
+template <class V>
+class V4Impl : public ::testing::Test {};
+
+using Impls = ::testing::Types<
+    v4float_portable
+#if defined(__SSE2__)
+    ,
+    v4float_sse
+#endif
+    >;
+TYPED_TEST_SUITE(V4Impl, Impls);
+
+TYPED_TEST(V4Impl, BroadcastLoadStore) {
+  using V = TypeParam;
+  V a(2.5f);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a[i], 2.5f);
+  float buf[4] = {1, 2, 3, 4};
+  V b = V::load(buf);
+  float out[4];
+  b.store(out);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(out[i], buf[i]);
+}
+
+TYPED_TEST(V4Impl, Arithmetic) {
+  using V = TypeParam;
+  float xa[4] = {1, 2, 3, 4}, xb[4] = {5, 6, 7, 8};
+  V a = V::load(xa), b = V::load(xb);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ((a + b)[i], xa[i] + xb[i]);
+    EXPECT_FLOAT_EQ((a - b)[i], xa[i] - xb[i]);
+    EXPECT_FLOAT_EQ((a * b)[i], xa[i] * xb[i]);
+    EXPECT_FLOAT_EQ((a / b)[i], xa[i] / xb[i]);
+  }
+}
+
+TYPED_TEST(V4Impl, FmaSqrtHsum) {
+  using V = TypeParam;
+  V a(3.0f), b(4.0f), c(5.0f);
+  EXPECT_FLOAT_EQ(V::fma(a, b, c)[2], 17.0f);
+  float sq[4] = {1, 4, 9, 16};
+  V s = V::sqrt(V::load(sq));
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(s[i], static_cast<float>(i + 1));
+  float h[4] = {1, 2, 3, 4};
+  EXPECT_FLOAT_EQ(V::load(h).hsum(), 10.0f);
+}
+
+TYPED_TEST(V4Impl, RsqrtNewtonAccuracy) {
+  using V = TypeParam;
+  float vals[4] = {0.25f, 1.0f, 4.0f, 100.0f};
+  V r = V::rsqrt(V::load(vals));
+  for (int i = 0; i < 4; ++i) {
+    const float ref = 1.0f / std::sqrt(vals[i]);
+    EXPECT_NEAR(r[i], ref, std::abs(ref) * 2e-5f) << "lane " << i;
+  }
+}
+
+TYPED_TEST(V4Impl, Transpose4x4) {
+  using V = TypeParam;
+  float m[4][4];
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) m[r][c] = static_cast<float>(r * 4 + c);
+  V r0 = V::load(m[0]), r1 = V::load(m[1]), r2 = V::load(m[2]),
+    r3 = V::load(m[3]);
+  V::transpose(r0, r1, r2, r3);
+  V rows[4] = {r0, r1, r2, r3};
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(rows[r][c], m[c][r]);
+}
+
+TYPED_TEST(V4Impl, SetLane) {
+  using V = TypeParam;
+  V a(0.0f);
+  a.set(2, 7.5f);
+  EXPECT_FLOAT_EQ(a[2], 7.5f);
+  EXPECT_FLOAT_EQ(a[1], 0.0f);
+}
+
+#if defined(__AVX2__)
+TEST(V8Avx2, MatchesPortableSemantics) {
+  float buf[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto v = v8float_avx2::load(buf);
+  EXPECT_FLOAT_EQ(v.hsum(), 36.0f);
+  auto w = v8float_avx2::fma(v, v8float_avx2(2.0f), v8float_avx2(1.0f));
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(w[i], buf[i] * 2 + 1);
+  auto mn = v8float_avx2::min(v, v8float_avx2(4.5f));
+  auto mx = v8float_avx2::max(v, v8float_avx2(4.5f));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(mn[i], std::min(buf[i], 4.5f));
+    EXPECT_FLOAT_EQ(mx[i], std::max(buf[i], 4.5f));
+  }
+}
+
+TEST(V8Avx2, Gather) {
+  float table[32];
+  for (int i = 0; i < 32; ++i) table[i] = static_cast<float>(i * 2);
+  int idx[8] = {0, 31, 3, 7, 15, 1, 30, 8};
+  auto g = v8float_avx2::gather(table, idx);
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(g[i], table[idx[i]]);
+}
+
+TEST(V8Avx2, Transpose8x8) {
+  float m[8][8];
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) m[r][c] = static_cast<float>(r * 8 + c);
+  v8float_avx2 rows[8] = {
+      v8float_avx2::load(m[0]), v8float_avx2::load(m[1]),
+      v8float_avx2::load(m[2]), v8float_avx2::load(m[3]),
+      v8float_avx2::load(m[4]), v8float_avx2::load(m[5]),
+      v8float_avx2::load(m[6]), v8float_avx2::load(m[7])};
+  v8float_avx2::transpose(rows[0], rows[1], rows[2], rows[3], rows[4],
+                          rows[5], rows[6], rows[7]);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) EXPECT_FLOAT_EQ(rows[r][c], m[c][r]);
+}
+#endif  // __AVX2__
+
+#if defined(__AVX512F__)
+TEST(V16Avx512, BasicOpsAndReduce) {
+  float buf[16];
+  for (int i = 0; i < 16; ++i) buf[i] = static_cast<float>(i);
+  auto v = v16float_avx512::load(buf);
+  EXPECT_FLOAT_EQ(v.hsum(), 120.0f);
+  auto r = v16float_avx512::rsqrt(v16float_avx512(4.0f));
+  EXPECT_NEAR(r[5], 0.5f, 2e-5f);
+}
+
+TEST(V16Avx512, MaskedSelect) {
+  auto a = v16float_avx512(1.0f);
+  auto b = v16float_avx512(2.0f);
+  // a < b everywhere -> if_true everywhere.
+  auto sel = v16float_avx512::select_lt(a, b, v16float_avx512(10.0f),
+                                        v16float_avx512(20.0f));
+  for (int i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(sel[i], 10.0f);
+  auto sel2 = v16float_avx512::select_lt(b, a, v16float_avx512(10.0f),
+                                         v16float_avx512(20.0f));
+  for (int i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(sel2[i], 20.0f);
+}
+#endif  // __AVX512F__
+
+TEST(Dispatch, ActiveIsaConsistent) {
+  EXPECT_GE(active_width(), 4);
+  EXPECT_STRNE(active_isa(), "");
+#if defined(__AVX512F__)
+  EXPECT_STREQ(active_isa(), "AVX512");
+  EXPECT_EQ(active_width(), 16);
+#elif defined(__AVX2__)
+  EXPECT_STREQ(active_isa(), "AVX2");
+  EXPECT_EQ(active_width(), 8);
+#endif
+}
+
+// ----------------------------------------------------------------------
+// Integer vector companions (v4int family).
+// ----------------------------------------------------------------------
+
+template <class V>
+class V4IntImpl : public ::testing::Test {};
+
+using IntImpls = ::testing::Types<
+    v4int_portable
+#if defined(__SSE2__)
+    ,
+    v4int_sse
+#endif
+    >;
+TYPED_TEST_SUITE(V4IntImpl, IntImpls);
+
+TYPED_TEST(V4IntImpl, ArithmeticAndBitwise) {
+  using V = TypeParam;
+  V a(1, 2, 3, 4), b(10, 20, 30, 40);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ((a + b)[k], (k + 1) * 11);
+    EXPECT_EQ((b - a)[k], (k + 1) * 9);
+    EXPECT_EQ((a * b)[k], (k + 1) * (k + 1) * 10);
+  }
+  V m(0xF0F0), n(0x0FF0);
+  EXPECT_EQ((m & n)[0], 0x00F0);
+  EXPECT_EQ((m | n)[0], 0xFFF0);
+  EXPECT_EQ((m ^ n)[0], 0xFF00);
+}
+
+TYPED_TEST(V4IntImpl, Shifts) {
+  using V = TypeParam;
+  V a(1, 2, 4, -8);
+  EXPECT_EQ((a << 2)[0], 4);
+  EXPECT_EQ((a << 2)[2], 16);
+  EXPECT_EQ((a >> 1)[1], 1);
+  EXPECT_EQ((a >> 1)[3], -4);  // arithmetic shift preserves sign
+}
+
+TYPED_TEST(V4IntImpl, CompareAndMerge) {
+  using V = TypeParam;
+  V a(1, 5, 3, 7), b(2, 4, 3, 8);
+  const V lt = V::cmplt(a, b);
+  EXPECT_EQ(lt[0], -1);
+  EXPECT_EQ(lt[1], 0);
+  EXPECT_EQ(lt[2], 0);
+  EXPECT_EQ(lt[3], -1);
+  const V eq = V::cmpeq(a, b);
+  EXPECT_EQ(eq[2], -1);
+  EXPECT_EQ(eq[0], 0);
+  const V merged = V::merge(lt, V(100), V(200));
+  EXPECT_EQ(merged[0], 100);
+  EXPECT_EQ(merged[1], 200);
+  EXPECT_EQ(merged[3], 100);
+}
+
+TYPED_TEST(V4IntImpl, Predicates) {
+  using V = TypeParam;
+  EXPECT_FALSE(V(0).any());
+  EXPECT_TRUE(V(0, 0, 1, 0).any());
+  EXPECT_TRUE(V(1, 2, 3, 4).all());
+  EXPECT_FALSE(V(1, 0, 3, 4).all());
+  EXPECT_EQ(V(1, 2, 3, 4).hadd(), 10);
+}
+
+TYPED_TEST(V4IntImpl, LoadStoreSet) {
+  using V = TypeParam;
+  std::int32_t buf[4] = {9, 8, 7, 6};
+  V v = V::load(buf);
+  v.set(2, 77);
+  std::int32_t out[4];
+  v.store(out);
+  EXPECT_EQ(out[0], 9);
+  EXPECT_EQ(out[2], 77);
+  EXPECT_EQ(out[3], 6);
+}
+
+#if defined(__AVX2__)
+TEST(V8IntAvx2, WideOps) {
+  std::int32_t buf[8] = {1, -2, 3, -4, 5, -6, 7, -8};
+  auto v = v8int_avx2::load(buf);
+  EXPECT_EQ(v.hadd(), -4);
+  auto doubled = v + v;
+  EXPECT_EQ(doubled[5], -12);
+  auto sq = v * v;
+  EXPECT_EQ(sq[7], 64);
+  EXPECT_TRUE(v.any());
+  EXPECT_FALSE(v8int_avx2(0).any());
+  auto m = v8int_avx2::cmplt(v, v8int_avx2(0));
+  auto abs = v8int_avx2::merge(m, v8int_avx2(0) - v, v);
+  for (int k = 0; k < 8; ++k) EXPECT_EQ(abs[k], k + 1);
+}
+#endif
+
+#if defined(__AVX512F__)
+TEST(V16IntAvx512, OpsAndOpmaskBlend) {
+  std::int32_t buf[16];
+  for (int i = 0; i < 16; ++i) buf[i] = i - 8;
+  auto v = v16int_avx512::load(buf);
+  EXPECT_EQ(v.hadd(), -8);
+  EXPECT_EQ((v + v)[3], -10);
+  EXPECT_EQ((v * v)[0], 64);
+  EXPECT_EQ((v << 1)[15], 14);
+  EXPECT_EQ((v >> 1)[0], -4);
+  const auto neg = v16int_avx512::cmplt_mask(v, v16int_avx512(0));
+  const auto abs = v16int_avx512::merge(neg, v16int_avx512(0) - v, v);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(abs[i], std::abs(i - 8));
+}
+#endif
