@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deposit.dir/ablation_deposit.cpp.o"
+  "CMakeFiles/ablation_deposit.dir/ablation_deposit.cpp.o.d"
+  "ablation_deposit"
+  "ablation_deposit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deposit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gpu_aware_mpi.dir/ablation_gpu_aware_mpi.cpp.o"
+  "CMakeFiles/ablation_gpu_aware_mpi.dir/ablation_gpu_aware_mpi.cpp.o.d"
+  "ablation_gpu_aware_mpi"
+  "ablation_gpu_aware_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpu_aware_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_gpu_aware_mpi.
+# This may be replaced when dependencies are built.

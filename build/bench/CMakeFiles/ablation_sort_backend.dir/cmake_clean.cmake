@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sort_backend.dir/ablation_sort_backend.cpp.o"
+  "CMakeFiles/ablation_sort_backend.dir/ablation_sort_backend.cpp.o.d"
+  "ablation_sort_backend"
+  "ablation_sort_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sort_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_batch_throughput.dir/ext_batch_throughput.cpp.o"
+  "CMakeFiles/ext_batch_throughput.dir/ext_batch_throughput.cpp.o.d"
+  "ext_batch_throughput"
+  "ext_batch_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_batch_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

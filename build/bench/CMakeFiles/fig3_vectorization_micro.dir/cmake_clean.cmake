@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vectorization_micro.dir/fig3_vectorization_micro.cpp.o"
+  "CMakeFiles/fig3_vectorization_micro.dir/fig3_vectorization_micro.cpp.o.d"
+  "fig3_vectorization_micro"
+  "fig3_vectorization_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vectorization_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_push_vectorization.dir/fig4_push_vectorization.cpp.o"
+  "CMakeFiles/fig4_push_vectorization.dir/fig4_push_vectorization.cpp.o.d"
+  "fig4_push_vectorization"
+  "fig4_push_vectorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_push_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

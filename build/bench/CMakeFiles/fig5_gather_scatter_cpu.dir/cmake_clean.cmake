@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gather_scatter_cpu.dir/fig5_gather_scatter_cpu.cpp.o"
+  "CMakeFiles/fig5_gather_scatter_cpu.dir/fig5_gather_scatter_cpu.cpp.o.d"
+  "fig5_gather_scatter_cpu"
+  "fig5_gather_scatter_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gather_scatter_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

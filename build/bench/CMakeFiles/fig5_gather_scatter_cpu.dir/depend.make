@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_gather_scatter_cpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gather_scatter_gpu.dir/fig6_gather_scatter_gpu.cpp.o"
+  "CMakeFiles/fig6_gather_scatter_gpu.dir/fig6_gather_scatter_gpu.cpp.o.d"
+  "fig6_gather_scatter_gpu"
+  "fig6_gather_scatter_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gather_scatter_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

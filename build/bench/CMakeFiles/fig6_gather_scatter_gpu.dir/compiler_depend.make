@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_gather_scatter_gpu.
+# This may be replaced when dependencies are built.

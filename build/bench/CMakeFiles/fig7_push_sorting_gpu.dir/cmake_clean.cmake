@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_push_sorting_gpu.dir/fig7_push_sorting_gpu.cpp.o"
+  "CMakeFiles/fig7_push_sorting_gpu.dir/fig7_push_sorting_gpu.cpp.o.d"
+  "fig7_push_sorting_gpu"
+  "fig7_push_sorting_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_push_sorting_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_push_sorting_gpu.
+# This may be replaced when dependencies are built.

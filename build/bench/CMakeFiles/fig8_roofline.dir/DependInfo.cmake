@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_roofline.cpp" "bench/CMakeFiles/fig8_roofline.dir/fig8_roofline.cpp.o" "gcc" "bench/CMakeFiles/fig8_roofline.dir/fig8_roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vpic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/vpic_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/vpic_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/vpic_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pk/CMakeFiles/vpic_pk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

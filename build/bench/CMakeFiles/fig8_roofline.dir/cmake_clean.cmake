@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_roofline.dir/fig8_roofline.cpp.o"
+  "CMakeFiles/fig8_roofline.dir/fig8_roofline.cpp.o.d"
+  "fig8_roofline"
+  "fig8_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

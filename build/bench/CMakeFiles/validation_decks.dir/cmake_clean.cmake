@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_decks.dir/validation_decks.cpp.o"
+  "CMakeFiles/validation_decks.dir/validation_decks.cpp.o.d"
+  "validation_decks"
+  "validation_decks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_decks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

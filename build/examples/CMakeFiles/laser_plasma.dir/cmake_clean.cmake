@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laser_plasma.dir/laser_plasma.cpp.o"
+  "CMakeFiles/laser_plasma.dir/laser_plasma.cpp.o.d"
+  "laser_plasma"
+  "laser_plasma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laser_plasma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magnetic_reconnection.dir/magnetic_reconnection.cpp.o"
+  "CMakeFiles/magnetic_reconnection.dir/magnetic_reconnection.cpp.o.d"
+  "magnetic_reconnection"
+  "magnetic_reconnection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magnetic_reconnection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

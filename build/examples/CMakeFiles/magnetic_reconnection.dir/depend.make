@@ -1,0 +1,2 @@
+# Empty dependencies file for magnetic_reconnection.
+# This may be replaced when dependencies are built.

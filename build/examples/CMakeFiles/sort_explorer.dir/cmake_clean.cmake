@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_explorer.dir/sort_explorer.cpp.o"
+  "CMakeFiles/sort_explorer.dir/sort_explorer.cpp.o.d"
+  "sort_explorer"
+  "sort_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

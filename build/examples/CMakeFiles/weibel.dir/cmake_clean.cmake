@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weibel.dir/weibel.cpp.o"
+  "CMakeFiles/weibel.dir/weibel.cpp.o.d"
+  "weibel"
+  "weibel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weibel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

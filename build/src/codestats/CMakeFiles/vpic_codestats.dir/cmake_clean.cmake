@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpic_codestats.dir/codestats.cpp.o"
+  "CMakeFiles/vpic_codestats.dir/codestats.cpp.o.d"
+  "libvpic_codestats.a"
+  "libvpic_codestats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpic_codestats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accumulator.cpp" "src/core/CMakeFiles/vpic_core.dir/accumulator.cpp.o" "gcc" "src/core/CMakeFiles/vpic_core.dir/accumulator.cpp.o.d"
+  "/root/repo/src/core/decks.cpp" "src/core/CMakeFiles/vpic_core.dir/decks.cpp.o" "gcc" "src/core/CMakeFiles/vpic_core.dir/decks.cpp.o.d"
+  "/root/repo/src/core/diagnostics.cpp" "src/core/CMakeFiles/vpic_core.dir/diagnostics.cpp.o" "gcc" "src/core/CMakeFiles/vpic_core.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/core/domain.cpp" "src/core/CMakeFiles/vpic_core.dir/domain.cpp.o" "gcc" "src/core/CMakeFiles/vpic_core.dir/domain.cpp.o.d"
+  "/root/repo/src/core/field.cpp" "src/core/CMakeFiles/vpic_core.dir/field.cpp.o" "gcc" "src/core/CMakeFiles/vpic_core.dir/field.cpp.o.d"
+  "/root/repo/src/core/interpolator.cpp" "src/core/CMakeFiles/vpic_core.dir/interpolator.cpp.o" "gcc" "src/core/CMakeFiles/vpic_core.dir/interpolator.cpp.o.d"
+  "/root/repo/src/core/push.cpp" "src/core/CMakeFiles/vpic_core.dir/push.cpp.o" "gcc" "src/core/CMakeFiles/vpic_core.dir/push.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/vpic_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/vpic_core.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pk/CMakeFiles/vpic_pk.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/vpic_minimpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

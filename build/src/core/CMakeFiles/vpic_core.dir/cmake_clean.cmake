@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpic_core.dir/accumulator.cpp.o"
+  "CMakeFiles/vpic_core.dir/accumulator.cpp.o.d"
+  "CMakeFiles/vpic_core.dir/decks.cpp.o"
+  "CMakeFiles/vpic_core.dir/decks.cpp.o.d"
+  "CMakeFiles/vpic_core.dir/diagnostics.cpp.o"
+  "CMakeFiles/vpic_core.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/vpic_core.dir/domain.cpp.o"
+  "CMakeFiles/vpic_core.dir/domain.cpp.o.d"
+  "CMakeFiles/vpic_core.dir/field.cpp.o"
+  "CMakeFiles/vpic_core.dir/field.cpp.o.d"
+  "CMakeFiles/vpic_core.dir/interpolator.cpp.o"
+  "CMakeFiles/vpic_core.dir/interpolator.cpp.o.d"
+  "CMakeFiles/vpic_core.dir/push.cpp.o"
+  "CMakeFiles/vpic_core.dir/push.cpp.o.d"
+  "CMakeFiles/vpic_core.dir/simulation.cpp.o"
+  "CMakeFiles/vpic_core.dir/simulation.cpp.o.d"
+  "libvpic_core.a"
+  "libvpic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

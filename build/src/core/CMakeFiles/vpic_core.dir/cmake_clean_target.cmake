@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvpic_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpic_gpusim.dir/device.cpp.o"
+  "CMakeFiles/vpic_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/vpic_gpusim.dir/push_model.cpp.o"
+  "CMakeFiles/vpic_gpusim.dir/push_model.cpp.o.d"
+  "CMakeFiles/vpic_gpusim.dir/scaling.cpp.o"
+  "CMakeFiles/vpic_gpusim.dir/scaling.cpp.o.d"
+  "libvpic_gpusim.a"
+  "libvpic_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpic_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpic_gs.dir/gather_scatter.cpp.o"
+  "CMakeFiles/vpic_gs.dir/gather_scatter.cpp.o.d"
+  "libvpic_gs.a"
+  "libvpic_gs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpic_gs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpic_kernels.dir/rajaperf_kernels.cpp.o"
+  "CMakeFiles/vpic_kernels.dir/rajaperf_kernels.cpp.o.d"
+  "libvpic_kernels.a"
+  "libvpic_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpic_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

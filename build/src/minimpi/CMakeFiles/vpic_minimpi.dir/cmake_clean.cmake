@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpic_minimpi.dir/minimpi.cpp.o"
+  "CMakeFiles/vpic_minimpi.dir/minimpi.cpp.o.d"
+  "libvpic_minimpi.a"
+  "libvpic_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpic_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpic_pk.dir/config.cpp.o"
+  "CMakeFiles/vpic_pk.dir/config.cpp.o.d"
+  "libvpic_pk.a"
+  "libvpic_pk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpic_pk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

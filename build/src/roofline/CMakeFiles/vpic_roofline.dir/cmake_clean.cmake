@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpic_roofline.dir/roofline.cpp.o"
+  "CMakeFiles/vpic_roofline.dir/roofline.cpp.o.d"
+  "libvpic_roofline.a"
+  "libvpic_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpic_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

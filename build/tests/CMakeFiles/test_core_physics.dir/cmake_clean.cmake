@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_physics.dir/test_core_physics.cpp.o"
+  "CMakeFiles/test_core_physics.dir/test_core_physics.cpp.o.d"
+  "test_core_physics"
+  "test_core_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pk.dir/test_pk.cpp.o"
+  "CMakeFiles/test_pk.dir/test_pk.cpp.o.d"
+  "test_pk"
+  "test_pk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

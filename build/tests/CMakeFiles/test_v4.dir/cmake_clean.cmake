@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_v4.dir/test_v4.cpp.o"
+  "CMakeFiles/test_v4.dir/test_v4.cpp.o.d"
+  "test_v4"
+  "test_v4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_v4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

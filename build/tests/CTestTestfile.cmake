@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[test_pk]=] "/root/repo/build/tests/test_pk")
+set_tests_properties([=[test_pk]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;vpic_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_simd]=] "/root/repo/build/tests/test_simd")
+set_tests_properties([=[test_simd]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;vpic_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_v4]=] "/root/repo/build/tests/test_v4")
+set_tests_properties([=[test_v4]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;vpic_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_sort]=] "/root/repo/build/tests/test_sort")
+set_tests_properties([=[test_sort]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;vpic_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_minimpi]=] "/root/repo/build/tests/test_minimpi")
+set_tests_properties([=[test_minimpi]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;vpic_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_gpusim]=] "/root/repo/build/tests/test_gpusim")
+set_tests_properties([=[test_gpusim]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;vpic_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_core_physics]=] "/root/repo/build/tests/test_core_physics")
+set_tests_properties([=[test_core_physics]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;vpic_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_integration]=] "/root/repo/build/tests/test_integration")
+set_tests_properties([=[test_integration]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;vpic_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_domain]=] "/root/repo/build/tests/test_domain")
+set_tests_properties([=[test_domain]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;vpic_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_gs]=] "/root/repo/build/tests/test_gs")
+set_tests_properties([=[test_gs]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;vpic_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_kernels]=] "/root/repo/build/tests/test_kernels")
+set_tests_properties([=[test_kernels]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;vpic_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_roofline]=] "/root/repo/build/tests/test_roofline")
+set_tests_properties([=[test_roofline]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;vpic_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_diagnostics]=] "/root/repo/build/tests/test_diagnostics")
+set_tests_properties([=[test_diagnostics]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;21;vpic_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_property]=] "/root/repo/build/tests/test_property")
+set_tests_properties([=[test_property]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;22;vpic_add_test;/root/repo/tests/CMakeLists.txt;0;")
