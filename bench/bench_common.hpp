@@ -81,4 +81,39 @@ inline std::string fmt(const char* f, double v) {
   return buf;
 }
 
+/// One-line JSON record emitter. Benches print one record per measurement
+/// (alongside the human-readable tables) so driver scripts can collect
+/// machine-readable `BENCH_<name>.json` files by grepping stdout for lines
+/// starting with '{'.
+class Json {
+ public:
+  explicit Json(const std::string& bench) {
+    buf_ = "{\"bench\":\"" + bench + "\"";
+  }
+  Json& field(const char* k, const std::string& v) {
+    buf_ += ",\"" + std::string(k) + "\":\"" + v + "\"";
+    return *this;
+  }
+  Json& field(const char* k, const char* v) {
+    return field(k, std::string(v));
+  }
+  Json& field(const char* k, double v) {
+    char t[64];
+    std::snprintf(t, sizeof(t), "%.6g", v);
+    buf_ += ",\"" + std::string(k) + "\":" + t;
+    return *this;
+  }
+  Json& field(const char* k, std::int64_t v) {
+    buf_ += ",\"" + std::string(k) + "\":" + std::to_string(v);
+    return *this;
+  }
+  Json& field(const char* k, int v) {
+    return field(k, static_cast<std::int64_t>(v));
+  }
+  void print() const { std::printf("%s}\n", buf_.c_str()); }
+
+ private:
+  std::string buf_;
+};
+
 }  // namespace vpic::bench

@@ -11,6 +11,7 @@
 
 #include "core/grid.hpp"
 #include "pk/pk.hpp"
+#include "sort/workspace.hpp"
 
 namespace vpic::core {
 
@@ -29,11 +30,25 @@ struct Species {
   pk::View<Particle, 1> p;
   index_t np = 0;  // live particle count (p may be larger)
 
+  // Persistent sort scratch: keys/permutation/histogram buffers sized on
+  // first sort and grown geometrically, plus the ping-pong partner of `p`
+  // the sort gathers into before swapping. Steady-state re-sorting
+  // allocates nothing (see core/sort_particles.hpp, docs/SORTING.md).
+  sort::SortWorkspace sort_ws;
+  pk::View<Particle, 1> p_scratch;
+
   Species() = default;
   Species(std::string name_, float q_, float m_, index_t capacity)
       : name(std::move(name_)), q(q_), m(m_), p("particles_" + name, capacity) {}
 
   [[nodiscard]] index_t capacity() const noexcept { return p.size(); }
+
+  /// Ping-pong partner of `p`, allocated lazily at the same capacity.
+  pk::View<Particle, 1>& sort_scratch() {
+    if (p_scratch.size() < p.size())
+      p_scratch = pk::View<Particle, 1>("particles_scratch_" + name, p.size());
+    return p_scratch;
+  }
 
   /// Kinetic energy sum( w * m c^2 (gamma - 1) ).
   [[nodiscard]] double kinetic_energy() const {
@@ -54,13 +69,21 @@ struct Species {
     return total;
   }
 
-  /// Extract the voxel indices (the sorting keys) of live particles.
+  /// Write the voxel indices (the sorting keys) of the live particles into
+  /// the first `np` entries of caller-provided storage. Allocation-free.
+  void cell_keys(pk::View<std::uint32_t, 1>& out) const {
+    assert(out.size() >= np);
+    const Particle* pp = p.data();
+    std::uint32_t* k = out.data();
+    pk::parallel_for(np, [=](index_t idx) {
+      k[idx] = static_cast<std::uint32_t>(pp[idx].i);
+    });
+  }
+
+  /// Allocating convenience overload of the above.
   [[nodiscard]] pk::View<std::uint32_t, 1> cell_keys() const {
     pk::View<std::uint32_t, 1> keys("cell_keys", np);
-    const auto& pp = p;
-    pk::parallel_for(np, [&](index_t idx) {
-      keys(idx) = static_cast<std::uint32_t>(pp(idx).i);
-    });
+    cell_keys(keys);
     return keys;
   }
 };

@@ -94,6 +94,11 @@ class Simulation {
   /// "particle push" runtime metric of the paper's Figs. 4/7.
   [[nodiscard]] double push_seconds() const { return push_seconds_; }
 
+  /// Time spent re-sorting particles since construction (seconds), kept
+  /// separate from push_seconds() so the sort-interval sweeps can report
+  /// sort cost and push cost independently.
+  [[nodiscard]] double sort_seconds() const { return sort_seconds_; }
+
   /// Per-step injection hook (e.g. a deck's laser antenna), called after
   /// the field advance of each step.
   void set_injection_hook(std::function<void(Simulation&)> hook) {
@@ -115,6 +120,7 @@ class Simulation {
   EnergyHistory energy_history_;
   std::int64_t step_count_ = 0;
   double push_seconds_ = 0;
+  double sort_seconds_ = 0;
 };
 
 }  // namespace vpic::core

@@ -3,10 +3,25 @@
 // Bridges the PIC engine to the hardware-targeted sorting library
 // (Section 3.2): reorders a species' particle array by cell key in the
 // order a given SortOrder prescribes. VPIC re-sorts every N steps; the
-// Simulation driver calls this on its sort interval.
+// Simulation driver calls this on its sort interval, so the pipeline is
+// built to be allocation-free in steady state:
+//
+//  * keys / permutation / histogram buffers live in the species'
+//    persistent SortWorkspace (grown geometrically, reused thereafter);
+//  * cell keys are bounded by grid.nv(), so the sort is a single-pass
+//    counting sort (histogram + scan + stable scatter) rather than a
+//    multi-pass radix sort whenever that bound is small relative to np —
+//    and the scatter moves the 32-byte particle records directly, with no
+//    intermediate permutation array;
+//  * the reorder gathers into the species' scratch particle buffer which
+//    is then swapped with `p` (ping-pong), eliminating the copy-back pass.
+//
+// The radix argsort fallback (wide rewritten-key bounds) also runs out of
+// the workspace. See docs/SORTING.md for the cost model.
 #pragma once
 
 #include "core/particle.hpp"
+#include "sort/counting.hpp"
 #include "sort/order_checks.hpp"
 #include "sort/radix.hpp"
 #include "sort/sorters.hpp"
@@ -15,41 +30,109 @@ namespace vpic::core {
 
 /// Reorder live particles according to `order`. `tile_sz` feeds the
 /// tiled-strided sort (paper: #CPU threads on CPUs, 3x core count on
-/// GPUs); ignored for other orders.
+/// GPUs); ignored for other orders. `key_bound`, when positive, is an
+/// exclusive upper bound on the cell keys (pass grid.nv()) and lets the
+/// standard order skip its min/max reduce.
 inline void sort_particles(Species& sp, sort::SortOrder order,
                            std::uint32_t tile_sz = 0,
-                           std::uint64_t seed = 9001) {
-  if (sp.np <= 1) return;
-  pk::View<std::uint32_t, 1> keys = sp.cell_keys();
+                           std::uint64_t seed = 9001,
+                           index_t key_bound = 0) {
+  const index_t n = sp.np;
+  if (n <= 1) return;
+  sort::SortWorkspace& ws = sp.sort_ws;
+  ws.reserve_pairs(n);
+  const int nthreads = pk::DefaultExecSpace::concurrency();
 
-  // Build the permutation the chosen order induces, then apply it to the
-  // 32-byte particle records in one pass.
-  pk::View<pk::index_t, 1> perm("sort_perm", sp.np);
-  pk::parallel_for(sp.np, [&](pk::index_t i) { perm(i) = i; });
+  Particle* const src = sp.p.data();
+  pk::View<Particle, 1>& scratch = sp.sort_scratch();
+  Particle* const dst = scratch.data();
 
+  if (order == sort::SortOrder::Random) {
+    // Permutation-only Fisher-Yates (same swap sequence the pair shuffle
+    // in sort::random_shuffle performs), then a single gather.
+    index_t* const perm = ws.perm.data();
+    pk::parallel_for(n, [=](index_t i) { perm[i] = i; });
+    std::uint64_t state = seed ? seed : 0x9e3779b97f4a7c15ull;
+    auto next = [&state]() {
+      state ^= state >> 12;
+      state ^= state << 25;
+      state ^= state >> 27;
+      return state * 0x2545f4914f6cdd1dull;
+    };
+    for (index_t i = n - 1; i > 0; --i) {
+      const index_t j =
+          static_cast<index_t>(next() % static_cast<std::uint64_t>(i + 1));
+      std::swap(perm[i], perm[j]);
+    }
+    pk::parallel_for(n, [=](index_t i) { dst[i] = src[perm[i]]; });
+    std::swap(sp.p, sp.p_scratch);
+    return;
+  }
+
+  sp.cell_keys(ws.keys);
+  std::uint32_t* keys = ws.keys.data();
+  std::uint32_t* keys_alt = ws.keys_alt.data();
+
+  // Order-specific final keys plus an exclusive bound on them.
+  std::uint64_t bound = 0;
   switch (order) {
-    case sort::SortOrder::Random:
-      sort::random_shuffle(keys, perm, seed);
+    case sort::SortOrder::Standard: {
+      if (key_bound > 0) {
+        bound = static_cast<std::uint64_t>(key_bound);
+      } else {
+        std::uint32_t mn, mx;
+        sort::detail::key_minmax_ptr(keys, n, mn, mx);
+        bound = static_cast<std::uint64_t>(mx) + 1;
+      }
       break;
-    case sort::SortOrder::Standard:
-      sort::sort_by_key(keys, perm);
-      break;
+    }
     case sort::SortOrder::Strided: {
-      pk::View<std::uint32_t, 1> nk = sort::make_strided_keys(keys);
-      sort::sort_by_key(nk, perm);
+      std::uint32_t mn, mx;
+      sort::detail::key_minmax_ptr(keys, n, mn, mx);
+      const index_t span =
+          static_cast<index_t>(mx) - static_cast<index_t>(mn) + 1;
+      std::uint32_t* counts = ws.reserve_counts(span);
+      bound = sort::detail::strided_rewrite(keys, n, mn, mx, counts, keys_alt);
+      std::swap(keys, keys_alt);
       break;
     }
     case sort::SortOrder::TiledStrided: {
-      pk::View<std::uint32_t, 1> nk =
-          sort::make_tiled_strided_keys(keys, tile_sz);
-      sort::sort_by_key(nk, perm);
+      std::uint32_t mn, mx;
+      sort::detail::key_minmax_ptr(keys, n, mn, mx);
+      const index_t span =
+          static_cast<index_t>(mx) - static_cast<index_t>(mn) + 1;
+      std::uint32_t* counts = ws.reserve_counts(span);
+      bound = sort::detail::tiled_rewrite(keys, n, mn, mx, tile_sz, counts,
+                                          keys_alt);
+      std::swap(keys, keys_alt);
       break;
     }
+    case sort::SortOrder::Random:
+      break;  // handled above
   }
 
-  pk::View<Particle, 1> reordered("particles_sorted", sp.np);
-  pk::parallel_for(sp.np, [&](pk::index_t i) { reordered(i) = sp.p(perm(i)); });
-  pk::parallel_for(sp.np, [&](pk::index_t i) { sp.p(i) = reordered(i); });
+  if (sort::counting_sort_applicable(n, bound, nthreads)) {
+    // One-pass counting sort scattering the particle records directly:
+    // no permutation array, no copy-back.
+    const index_t b = static_cast<index_t>(bound);
+    index_t* offsets =
+        ws.reserve_histogram(sort::detail::counting_hist_cells(nthreads, b));
+    sort::detail::counting_offsets(keys, n, b, offsets, nthreads);
+    sort::detail::counting_scatter(keys, src, n, b, offsets, nthreads, dst);
+  } else {
+    // General fallback: radix argsort out of the workspace buffers, then
+    // one gather of the particle records.
+    index_t* const perm = ws.perm.data();
+    pk::parallel_for(n, [=](index_t i) { perm[i] = i; });
+    const int passes =
+        sort::detail::passes_for(bound > 0 ? bound - 1 : std::uint64_t{0});
+    index_t* offsets =
+        ws.reserve_histogram(static_cast<std::size_t>(nthreads) * 256);
+    sort::detail::radix_passes(keys, perm, keys_alt, ws.perm_alt.data(), n,
+                               passes, offsets, nthreads);
+    pk::parallel_for(n, [=](index_t i) { dst[i] = src[perm[i]]; });
+  }
+  std::swap(sp.p, sp.p_scratch);
 }
 
 }  // namespace vpic::core

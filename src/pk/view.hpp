@@ -9,7 +9,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cassert>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -19,6 +21,15 @@
 #include "pk/layout.hpp"
 
 namespace vpic::pk {
+
+/// Process-wide count of View buffer allocations (allocating constructor
+/// only; unmanaged wrappers and aliases don't count). Test/bench hook: the
+/// zero-allocation sort pipeline asserts this stays flat across
+/// steady-state sorts (tests/test_sort_pipeline.cpp, bench/sort_pipeline).
+inline std::atomic<std::int64_t>& view_alloc_count() noexcept {
+  static std::atomic<std::int64_t> count{0};
+  return count;
+}
 
 /// Tag types mirroring Kokkos memory spaces. This build is host-only (the
 /// GPU is an analytic model, not an execution target), so both spaces
@@ -57,6 +68,7 @@ class View {
     size_ = 1;
     for (auto e : ext_) size_ *= e;
     data_ = std::shared_ptr<T[]>(new T[static_cast<std::size_t>(size_)]());
+    ++view_alloc_count();
   }
 
   /// Unmanaged wrapper around caller-owned memory (Kokkos unmanaged views).

@@ -1,21 +1,29 @@
 // sort/radix.hpp
 //
-// Parallel stable LSD radix sort-by-key over pk Views. This is the repo's
+// Parallel stable sort-by-key over pk Views. This is the repo's
 // implementation of the Kokkos `sort_by_key` primitive that Algorithms 1
 // and 2 call after rewriting the keys (paper Section 4.3: "we use the
 // parallel sort_by_key function provided by Kokkos"). Stability matters:
 // the strided/tiled orders rely on ties (there are none after key
 // rewriting, but the standard sort path does have ties and its output
 // order must be deterministic for testing).
+//
+// Two backends share the entry point: a single-pass counting sort
+// (counting.hpp) used whenever the observed key bound is small relative to
+// n — the PIC case, where keys are voxel indices < grid.nv() — and a
+// general 8-bit LSD radix sort as the fallback for wide key ranges. See
+// docs/SORTING.md for the cost model behind the dispatch.
 #pragma once
 
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <type_traits>
 #include <vector>
 
 #include "pk/pk.hpp"
+#include "sort/counting.hpp"
 
 namespace vpic::sort {
 
@@ -34,51 +42,25 @@ int passes_for(K max_key) noexcept {
   return (bits + 7) / 8;
 }
 
-}  // namespace detail
-
-/// Stable LSD radix sort of (keys, values) pairs, ascending by key.
-/// K must be an unsigned integer type; V any trivially copyable type.
-/// Runs one parallel histogram + scatter per 8-bit digit, skipping digits
-/// above the maximum key.
+/// Raw LSD radix passes over (k, v) using (tk, tv) as the ping-pong
+/// partner and `offsets` (nthreads * 256 entries) as scan scratch. The
+/// result is guaranteed back in (k, v): after an odd number of passes the
+/// data is copied out of the temporaries. All storage is caller-provided,
+/// so a caller holding a persistent workspace sorts allocation-free.
 template <class K, class V>
-void sort_by_key(pk::View<K, 1>& keys, pk::View<V, 1>& values) {
-  static_assert(std::is_unsigned_v<K>, "radix keys must be unsigned");
-  const index_t n = keys.size();
-  if (n <= 1) return;
-
-  K max_key = 0;
-  {
-    pk::MinMaxValue<K> mm{};
-    pk::parallel_reduce<pk::MinMax<K>>(
-        pk::RangePolicy<>(n),
-        [&](index_t i, pk::MinMaxValue<K>& acc) {
-          const K k = keys(i);
-          if (k < acc.min_val) acc.min_val = k;
-          if (k > acc.max_val) acc.max_val = k;
-        },
-        mm);
-    max_key = mm.max_val;
-  }
-  const int passes = detail::passes_for(max_key);
-  if (passes == 0) return;  // all keys are zero: already sorted
-
-  pk::View<K, 1> keys_tmp("radix_keys_tmp", n);
-  pk::View<V, 1> vals_tmp("radix_vals_tmp", n);
-
+void radix_passes(K* k, V* v, K* tk, V* tv, index_t n, int passes,
+                  index_t* offsets, int nthreads) {
   constexpr int kRadix = 256;
-  const int nthreads = pk::DefaultExecSpace::concurrency();
-  // offsets[t][b]: running scatter position for bucket b, thread t.
-  std::vector<index_t> offsets(
-      static_cast<std::size_t>(nthreads) * kRadix, 0);
-
-  K* src_k = keys.data();
-  V* src_v = values.data();
-  K* dst_k = keys_tmp.data();
-  V* dst_v = vals_tmp.data();
+  K* src_k = k;
+  V* src_v = v;
+  K* dst_k = tk;
+  V* dst_v = tv;
 
   for (int pass = 0; pass < passes; ++pass) {
     const int shift = pass * 8;
-    std::fill(offsets.begin(), offsets.end(), index_t{0});
+    std::fill(offsets,
+              offsets + static_cast<std::size_t>(nthreads) * kRadix,
+              index_t{0});
 
 #if PK_HAVE_OPENMP
 #pragma omp parallel num_threads(nthreads)
@@ -86,7 +68,7 @@ void sort_by_key(pk::View<K, 1>& keys, pk::View<V, 1>& values) {
       const int tid = omp_get_thread_num();
       const index_t lo = n * tid / nthreads;
       const index_t hi = n * (tid + 1) / nthreads;
-      index_t* hist = offsets.data() + static_cast<std::size_t>(tid) * kRadix;
+      index_t* hist = offsets + static_cast<std::size_t>(tid) * kRadix;
       for (index_t i = lo; i < hi; ++i)
         ++hist[(src_k[i] >> shift) & 0xFF];
 #pragma omp barrier
@@ -115,7 +97,7 @@ void sort_by_key(pk::View<K, 1>& keys, pk::View<V, 1>& values) {
       }
     }
 #else
-    index_t* hist = offsets.data();
+    index_t* hist = offsets;
     for (index_t i = 0; i < n; ++i) ++hist[(src_k[i] >> shift) & 0xFF];
     index_t running = 0;
     for (int b = 0; b < kRadix; ++b) {
@@ -135,11 +117,77 @@ void sort_by_key(pk::View<K, 1>& keys, pk::View<V, 1>& values) {
   }
 
   // After an odd number of passes the result lives in the temporaries.
-  if (src_k != keys.data()) {
-    std::memcpy(keys.data(), src_k, static_cast<std::size_t>(n) * sizeof(K));
-    std::memcpy(values.data(), src_v,
-                static_cast<std::size_t>(n) * sizeof(V));
+  if (src_k != k) {
+    std::memcpy(k, src_k, static_cast<std::size_t>(n) * sizeof(K));
+    std::memcpy(v, src_v, static_cast<std::size_t>(n) * sizeof(V));
   }
+}
+
+/// Maximum key of a view via parallel reduce.
+template <class K>
+K max_key_of(const pk::View<K, 1>& keys) {
+  pk::MinMaxValue<K> mm{};
+  pk::parallel_reduce<pk::MinMax<K>>(
+      pk::RangePolicy<>(keys.size()),
+      [&](index_t i, pk::MinMaxValue<K>& acc) {
+        const K k = keys(i);
+        if (k < acc.min_val) acc.min_val = k;
+        if (k > acc.max_val) acc.max_val = k;
+      },
+      mm);
+  return mm.max_val;
+}
+
+}  // namespace detail
+
+/// Stable LSD radix sort of (keys, values) pairs, ascending by key: the
+/// general fallback backend, one parallel histogram + scatter per 8-bit
+/// digit, skipping digits above the maximum key. Exposed for benchmarking;
+/// most callers want the dispatching sort_by_key below.
+template <class K, class V>
+void radix_sort_by_key(pk::View<K, 1>& keys, pk::View<V, 1>& values) {
+  static_assert(std::is_unsigned_v<K>, "radix keys must be unsigned");
+  const index_t n = keys.size();
+  if (n <= 1) return;
+
+  const K max_key = detail::max_key_of(keys);
+  const int passes = detail::passes_for(max_key);
+  if (passes == 0) return;  // all keys are zero: already sorted
+
+  pk::View<K, 1> keys_tmp("radix_keys_tmp", n);
+  pk::View<V, 1> vals_tmp("radix_vals_tmp", n);
+  const int nthreads = pk::DefaultExecSpace::concurrency();
+  std::vector<index_t> offsets(static_cast<std::size_t>(nthreads) * 256, 0);
+  detail::radix_passes(keys.data(), values.data(), keys_tmp.data(),
+                       vals_tmp.data(), n, passes, offsets.data(), nthreads);
+}
+
+/// Stable sort of (keys, values) pairs, ascending by key. Dispatches on
+/// the observed key bound: a single-pass counting sort when the bound is
+/// small relative to n (cell-index keys), the multi-pass radix sort
+/// otherwise. Same contract either way — stable, in-place semantics.
+template <class K, class V>
+void sort_by_key(pk::View<K, 1>& keys, pk::View<V, 1>& values) {
+  static_assert(std::is_unsigned_v<K>, "sort keys must be unsigned");
+  const index_t n = keys.size();
+  if (n <= 1) return;
+
+  const K max_key = detail::max_key_of(keys);
+  const int passes = detail::passes_for(max_key);
+  if (passes == 0) return;  // all keys are zero: already sorted
+
+  const std::uint64_t bound = static_cast<std::uint64_t>(max_key) + 1;
+  const int nthreads = pk::DefaultExecSpace::concurrency();
+  if (counting_sort_applicable(n, bound, nthreads)) {
+    counting_sort_by_key(keys, values, static_cast<index_t>(bound));
+    return;
+  }
+
+  pk::View<K, 1> keys_tmp("radix_keys_tmp", n);
+  pk::View<V, 1> vals_tmp("radix_vals_tmp", n);
+  std::vector<index_t> offsets(static_cast<std::size_t>(nthreads) * 256, 0);
+  detail::radix_passes(keys.data(), values.data(), keys_tmp.data(),
+                       vals_tmp.data(), n, passes, offsets.data(), nthreads);
 }
 
 /// Comparison-based stable sort_by_key (std::stable_sort over an index

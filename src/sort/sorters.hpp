@@ -16,10 +16,13 @@
 //
 // All sorters operate on (keys, values) pairs exactly as the paper's
 // pseudocode does; `make_*_keys` exposes the key-rewriting step alone so
-// multi-field particle arrays can be permuted via argsort.
+// multi-field particle arrays can be permuted via argsort. The rewrite
+// cores report an exclusive upper bound on the rewritten keys, which is
+// what lets sort_by_key pick the single-pass counting backend.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "pk/pk.hpp"
@@ -63,26 +66,120 @@ pk::MinMaxValue<K> key_minmax(const pk::View<K, 1>& keys) {
   return mm;
 }
 
-/// Algorithm 1, lines 1-7: produce the strided-order keys.
-/// new_keys(i) = (key - min_k) + occurrence * (max_k + 1), where
-/// `occurrence` counts prior instances of the same key (atomically).
+namespace detail {
+
+/// Raw min/max over a key array; no heap traffic (the OpenMP reduction
+/// clause keeps partials in registers / runtime storage), which keeps the
+/// workspace-based sort pipeline allocation-free.
 template <class K>
-pk::View<K, 1> make_strided_keys(const pk::View<K, 1>& keys) {
+void key_minmax_ptr(const K* keys, index_t n, K& min_out, K& max_out) {
+  K mn = std::numeric_limits<K>::max();
+  K mx = std::numeric_limits<K>::lowest();
+#if PK_HAVE_OPENMP
+#pragma omp parallel for reduction(min : mn) reduction(max : mx) \
+    schedule(static)
+#endif
+  for (index_t i = 0; i < n; ++i) {
+    const K k = keys[i];
+    if (k < mn) mn = k;
+    if (k > mx) mx = k;
+  }
+  min_out = mn;
+  max_out = mx;
+}
+
+/// Raw max over a key array (line 7 of Algorithm 2).
+template <class K>
+K key_max_ptr(const K* keys, index_t n) {
+  K mx = std::numeric_limits<K>::lowest();
+#if PK_HAVE_OPENMP
+#pragma omp parallel for reduction(max : mx) schedule(static)
+#endif
+  for (index_t i = 0; i < n; ++i)
+    if (keys[i] > mx) mx = keys[i];
+  return mx;
+}
+
+/// Algorithm 1, lines 1-7, on raw storage:
+/// out[i] = (keys[i] - min_k) + occurrence * span, occurrence counted
+/// atomically per key. `counts` must span max_k - min_k + 1 entries (they
+/// are zeroed here; on return they hold the key multiplicities). Returns
+/// the exclusive upper bound on the rewritten keys: span * max multiplicity.
+template <class K>
+std::uint64_t strided_rewrite(const K* keys, index_t n, K min_k, K max_k,
+                              K* counts, K* out) {
+  const index_t span =
+      static_cast<index_t>(max_k) - static_cast<index_t>(min_k) + 1;
+  std::fill(counts, counts + span, K{0});
+  const K span_k = static_cast<K>(span);
+  pk::parallel_for(n, [=](index_t i) {
+    const K key = keys[i];
+    const K occ = pk::atomic_fetch_add(&counts[key - min_k], K{1});
+    out[i] = static_cast<K>((key - min_k) + occ * span_k);
+  });
+  const K max_mult = key_max_ptr(counts, span);
+  return static_cast<std::uint64_t>(span) * max_mult;
+}
+
+/// Algorithm 2, lines 1-15, on raw storage. `counts` must span
+/// max_k - min_k + 1 entries (zeroed and reused internally). Returns the
+/// exclusive upper bound on the composite keys.
+template <class K>
+std::uint64_t tiled_rewrite(const K* keys, index_t n, K min_k, K max_k,
+                            K tile_sz, K* counts, K* out) {
+  if (tile_sz < 1) tile_sz = 1;
+  const index_t span =
+      static_cast<index_t>(max_k) - static_cast<index_t>(min_k) + 1;
+
+  // Lines 4-6: histogram of key multiplicities.
+  std::fill(counts, counts + span, K{0});
+  pk::parallel_for(n,
+                   [=](index_t i) { pk::atomic_inc(&counts[keys[i] - min_k]); });
+
+  // Line 7: max multiplicity determines tiles per chunk.
+  const K max_r = key_max_ptr(counts, span);
+
+  // Line 8: chunk_sz = TileSz * max_r  (key slots per chunk).
+  const K chunk_sz = static_cast<K>(tile_sz * max_r);
+
+  // Line 9: reset the counting array.
+  std::fill(counts, counts + span, K{0});
+
+  // Lines 10-15: assign each element a (chunk, tile, id) composite key.
+  pk::parallel_for(n, [=](index_t i) {
+    const K id = static_cast<K>(keys[i] - min_k);
+    const K tile = pk::atomic_fetch_add(&counts[id], K{1});
+    const K chunk = static_cast<K>(keys[i] / tile_sz);
+    out[i] = static_cast<K>(chunk * chunk_sz + tile * tile_sz + id);
+  });
+
+  // Largest possible composite: max chunk, last tile, largest id.
+  return static_cast<std::uint64_t>(max_k / tile_sz) * chunk_sz +
+         static_cast<std::uint64_t>(max_r > 0 ? max_r - 1 : 0) * tile_sz +
+         static_cast<std::uint64_t>(span - 1) + 1;
+}
+
+}  // namespace detail
+
+/// Algorithm 1, lines 1-7: produce the strided-order keys. If
+/// `key_bound_out` is non-null it receives an exclusive upper bound on the
+/// returned keys (for counting-sort dispatch).
+template <class K>
+pk::View<K, 1> make_strided_keys(const pk::View<K, 1>& keys,
+                                 std::uint64_t* key_bound_out = nullptr) {
   const index_t n = keys.size();
   pk::View<K, 1> new_keys("strided_keys", n);
-  if (n == 0) return new_keys;
-
-  const auto mm = key_minmax(keys);
-  const K min_k = mm.min_val;
-  const K max_k = mm.max_val;
+  if (n == 0) {
+    if (key_bound_out) *key_bound_out = 0;
+    return new_keys;
+  }
+  K min_k, max_k;
+  detail::key_minmax_ptr(keys.data(), n, min_k, max_k);
   pk::View<K, 1> key_counts("key_counts", static_cast<index_t>(max_k) -
-                                               static_cast<index_t>(min_k) +
-                                               1);
-  pk::parallel_for(n, [&](index_t i) {
-    const K key = keys(i);
-    const K occ = pk::atomic_fetch_add(&key_counts(key - min_k), K{1});
-    new_keys(i) = static_cast<K>((key - min_k) + occ * (max_k + 1));
-  });
+                                              static_cast<index_t>(min_k) + 1);
+  const std::uint64_t bound = detail::strided_rewrite(
+      keys.data(), n, min_k, max_k, key_counts.data(), new_keys.data());
+  if (key_bound_out) *key_bound_out = bound;
   return new_keys;
 }
 
@@ -90,47 +187,22 @@ pk::View<K, 1> make_strided_keys(const pk::View<K, 1>& keys) {
 /// Keys are grouped into chunks of `tile_sz` distinct key values; each
 /// chunk holds max_repeat tiles; within a tile keys follow strided order.
 template <class K>
-pk::View<K, 1> make_tiled_strided_keys(const pk::View<K, 1>& keys,
-                                       K tile_sz) {
+pk::View<K, 1> make_tiled_strided_keys(const pk::View<K, 1>& keys, K tile_sz,
+                                       std::uint64_t* key_bound_out = nullptr) {
   const index_t n = keys.size();
   pk::View<K, 1> new_keys("tiled_keys", n);
-  if (n == 0) return new_keys;
-  if (tile_sz < 1) tile_sz = 1;
-
-  const auto mm = key_minmax(keys);
-  const K min_k = mm.min_val;
-  const K max_k = mm.max_val;
-  const index_t nkeys =
-      static_cast<index_t>(max_k) - static_cast<index_t>(min_k) + 1;
-  pk::View<K, 1> key_counts("key_counts", nkeys);
-
-  // Lines 4-6: histogram of key multiplicities.
-  pk::parallel_for(n, [&](index_t i) {
-    pk::atomic_inc(&key_counts(keys(i) - min_k));
-  });
-
-  // Line 7: max multiplicity determines tiles per chunk.
-  K max_r = 0;
-  pk::parallel_reduce<pk::Max<K>>(
-      pk::RangePolicy<>(nkeys),
-      [&](index_t i, K& acc) {
-        if (key_counts(i) > acc) acc = key_counts(i);
-      },
-      max_r);
-
-  // Line 8: chunk_sz = TileSz * max_r  (key slots per chunk).
-  const K chunk_sz = static_cast<K>(tile_sz * max_r);
-
-  // Line 9: reset the counting view.
-  pk::deep_copy(key_counts, K{0});
-
-  // Lines 10-15: assign each element a (chunk, tile, id) composite key.
-  pk::parallel_for(n, [&](index_t i) {
-    const K id = static_cast<K>(keys(i) - min_k);
-    const K tile = pk::atomic_fetch_add(&key_counts(id), K{1});
-    const K chunk = static_cast<K>(keys(i) / tile_sz);
-    new_keys(i) = static_cast<K>(chunk * chunk_sz + tile * tile_sz + id);
-  });
+  if (n == 0) {
+    if (key_bound_out) *key_bound_out = 0;
+    return new_keys;
+  }
+  K min_k, max_k;
+  detail::key_minmax_ptr(keys.data(), n, min_k, max_k);
+  pk::View<K, 1> key_counts("key_counts", static_cast<index_t>(max_k) -
+                                              static_cast<index_t>(min_k) + 1);
+  const std::uint64_t bound =
+      detail::tiled_rewrite(keys.data(), n, min_k, max_k, tile_sz,
+                            key_counts.data(), new_keys.data());
+  if (key_bound_out) *key_bound_out = bound;
   return new_keys;
 }
 

@@ -1,0 +1,323 @@
+// Tests for the zero-allocation particle-sort pipeline: counting sort
+// correctness/stability against std::stable_sort ground truth across key
+// distributions, backend dispatch equivalence, ping-pong sort_particles
+// invariants (particle multiset and kinetic energy preserved bit-for-bit),
+// and the steady-state zero-allocation property via pk::view_alloc_count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "core/particle.hpp"
+#include "core/sort_particles.hpp"
+#include "pk/pk.hpp"
+#include "sort/counting.hpp"
+#include "sort/order_checks.hpp"
+#include "sort/radix.hpp"
+#include "sort/sorters.hpp"
+
+namespace pk = vpic::pk;
+namespace vs = vpic::sort;
+namespace core = vpic::core;
+using pk::index_t;
+
+namespace {
+
+enum class KeyDist { Random, Ascending, SingleCell, MaxBound };
+
+pk::View<std::uint32_t, 1> make_keys(index_t n, std::uint32_t bound,
+                                     KeyDist dist, std::uint64_t seed) {
+  pk::View<std::uint32_t, 1> keys("keys", n);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> d(0, bound - 1);
+  for (index_t i = 0; i < n; ++i) {
+    switch (dist) {
+      case KeyDist::Random:
+        keys(i) = d(rng);
+        break;
+      case KeyDist::Ascending:
+        keys(i) = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(i) * bound) /
+            static_cast<std::uint64_t>(n));
+        break;
+      case KeyDist::SingleCell:
+        keys(i) = bound / 2;
+        break;
+      case KeyDist::MaxBound:
+        keys(i) = bound - 1;
+        break;
+    }
+  }
+  return keys;
+}
+
+core::Species make_species(index_t n, index_t nv, std::uint64_t seed) {
+  core::Species sp("test", -1.0f, 1.0f, n);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int32_t> cell(
+      0, static_cast<std::int32_t>(nv - 1));
+  std::normal_distribution<float> mom(0.0f, 0.3f);
+  for (index_t i = 0; i < n; ++i) {
+    core::Particle p{};
+    p.dx = mom(rng);
+    p.dy = mom(rng);
+    p.dz = mom(rng);
+    p.i = cell(rng);
+    p.ux = mom(rng);
+    p.uy = mom(rng);
+    p.uz = mom(rng);
+    p.w = 1.0f;
+    sp.p(i) = p;
+  }
+  sp.np = n;
+  return sp;
+}
+
+/// Byte image of a particle record, for exact multiset comparison.
+using ParticleBytes = std::array<unsigned char, sizeof(core::Particle)>;
+
+std::vector<ParticleBytes> particle_multiset(const core::Species& sp) {
+  std::vector<ParticleBytes> out(static_cast<std::size_t>(sp.np));
+  for (index_t i = 0; i < sp.np; ++i)
+    std::memcpy(out[static_cast<std::size_t>(i)].data(), &sp.p(i),
+                sizeof(core::Particle));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Order-independent kinetic energy: per-particle terms, sorted, summed —
+/// bitwise reproducible across any permutation of the particle array.
+double deterministic_ke(const core::Species& sp) {
+  std::vector<double> terms(static_cast<std::size_t>(sp.np));
+  for (index_t i = 0; i < sp.np; ++i) {
+    const core::Particle& p = sp.p(i);
+    const double u2 = static_cast<double>(p.ux) * p.ux +
+                      static_cast<double>(p.uy) * p.uy +
+                      static_cast<double>(p.uz) * p.uz;
+    terms[static_cast<std::size_t>(i)] =
+        static_cast<double>(p.w) * sp.m * (std::sqrt(1.0 + u2) - 1.0);
+  }
+  std::sort(terms.begin(), terms.end());
+  double total = 0;
+  for (double t : terms) total += t;
+  return total;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// Counting sort vs std::stable_sort ground truth.
+// ----------------------------------------------------------------------
+
+using CountingParam = std::tuple<index_t, std::uint32_t, KeyDist>;
+
+class CountingSortProperty : public ::testing::TestWithParam<CountingParam> {};
+
+std::string counting_param_name(
+    const ::testing::TestParamInfo<CountingParam>& info) {
+  const char* d[] = {"random", "ascending", "single", "maxbound"};
+  return "n" + std::to_string(std::get<0>(info.param)) + "_b" +
+         std::to_string(std::get<1>(info.param)) + "_" +
+         d[static_cast<int>(std::get<2>(info.param))];
+}
+
+TEST_P(CountingSortProperty, StablePermutationMatchesStableSort) {
+  const auto [n, bound, dist] = GetParam();
+  auto keys = make_keys(n, bound, dist, 17 * n + bound);
+  pk::View<std::uint32_t, 1> vals("vals", n);
+  for (index_t i = 0; i < n; ++i) vals(i) = static_cast<std::uint32_t>(i);
+
+  // Ground truth: stable sort of (key, original index) pairs by key.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ref(
+      static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    ref[static_cast<std::size_t>(i)] = {keys(i),
+                                        static_cast<std::uint32_t>(i)};
+  std::stable_sort(ref.begin(), ref.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  vs::counting_sort_by_key(keys, vals, static_cast<index_t>(bound));
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_EQ(keys(i), ref[static_cast<std::size_t>(i)].first) << i;
+    EXPECT_EQ(vals(i), ref[static_cast<std::size_t>(i)].second) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, CountingSortProperty,
+    ::testing::Combine(::testing::Values(index_t{100}, index_t{4096},
+                                         index_t{30000}),
+                       ::testing::Values(std::uint32_t{16},
+                                         std::uint32_t{5832},  // 18^3 = nv
+                                         std::uint32_t{65536}),
+                       ::testing::Values(KeyDist::Random, KeyDist::Ascending,
+                                         KeyDist::SingleCell,
+                                         KeyDist::MaxBound)),
+    counting_param_name);
+
+TEST(CountingSort, DispatchMatchesForcedRadix) {
+  const index_t n = 20000;
+  auto k1 = make_keys(n, 4096, KeyDist::Random, 5);
+  pk::View<std::uint32_t, 1> v1("v1", n), k2("k2", n), v2("v2", n);
+  for (index_t i = 0; i < n; ++i) v1(i) = static_cast<std::uint32_t>(i);
+  pk::deep_copy(k2, k1);
+  pk::deep_copy(v2, v1);
+  vs::sort_by_key(k1, v1);        // dispatcher (counting for this bound)
+  vs::radix_sort_by_key(k2, v2);  // forced radix
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_EQ(k1(i), k2(i)) << i;
+    ASSERT_EQ(v1(i), v2(i)) << i;
+  }
+}
+
+TEST(CountingSort, WorkspaceReusesHistogram) {
+  vs::SortWorkspace ws;
+  const index_t n = 10000;
+  for (int round = 0; round < 3; ++round) {
+    auto keys = make_keys(n, 1024, KeyDist::Random, 100 + round);
+    pk::View<std::uint32_t, 1> vals("v", n);
+    vs::counting_sort_by_key(keys, vals, 1024, &ws);
+    EXPECT_TRUE(vs::is_sorted_ascending(keys));
+  }
+  EXPECT_EQ(ws.grow_count, 1);  // histogram sized once, reused twice
+}
+
+TEST(CountingSort, EmptyAndSingle) {
+  pk::View<std::uint32_t, 1> k0("k", 0), v0("v", 0);
+  vs::counting_sort_by_key(k0, v0, 16);  // must not crash
+  pk::View<std::uint32_t, 1> k1("k", 1), v1("v", 1);
+  k1(0) = 7;
+  vs::counting_sort_by_key(k1, v1, 16);
+  EXPECT_EQ(k1(0), 7u);
+}
+
+// ----------------------------------------------------------------------
+// Ping-pong sort_particles invariants.
+// ----------------------------------------------------------------------
+
+TEST(SortPipeline, PingPongPreservesParticleMultisetAllOrders) {
+  const index_t n = 8192, nv = 512;
+  for (auto order : {vs::SortOrder::Random, vs::SortOrder::Standard,
+                     vs::SortOrder::Strided, vs::SortOrder::TiledStrided}) {
+    core::Species sp = make_species(n, nv, 42);
+    const auto before = particle_multiset(sp);
+    const double ke_before = deterministic_ke(sp);
+    core::sort_particles(sp, order, 8, 99, nv);
+    EXPECT_EQ(particle_multiset(sp), before) << vs::to_string(order);
+    // Identical records => identical sorted terms => bit-for-bit equal sum.
+    EXPECT_EQ(deterministic_ke(sp), ke_before) << vs::to_string(order);
+  }
+}
+
+TEST(SortPipeline, OrdersMatchTheirPredicates) {
+  const index_t n = 8192, nv = 512;
+  {
+    core::Species sp = make_species(n, nv, 7);
+    core::sort_particles(sp, vs::SortOrder::Standard, 0, 0, nv);
+    EXPECT_TRUE(vs::is_sorted_ascending(sp.cell_keys()));
+  }
+  {
+    core::Species sp = make_species(n, nv, 7);
+    core::sort_particles(sp, vs::SortOrder::Strided, 0, 0, nv);
+    EXPECT_TRUE(vs::is_strided_order(sp.cell_keys()));
+  }
+  {
+    core::Species sp = make_species(n, nv, 7);
+    core::sort_particles(sp, vs::SortOrder::TiledStrided, 8, 0, nv);
+    // Tiled-strided on the raw cell keys: each tile's keys are strictly
+    // increasing within a chunk — verified via the composite predicate on
+    // the rewritten keys in test_sort.cpp; here just check permutation.
+    EXPECT_TRUE(vs::is_permutation_of(sp.cell_keys(),
+                                      make_species(n, nv, 7).cell_keys()));
+  }
+}
+
+TEST(SortPipeline, StandardSortIsStableForEqualKeys) {
+  // Particles in the same cell must keep their relative order (the
+  // counting scatter is stable). Tag particles via ux = original index.
+  const index_t n = 4096, nv = 64;
+  core::Species sp = make_species(n, nv, 3);
+  for (index_t i = 0; i < n; ++i) sp.p(i).ux = static_cast<float>(i);
+  std::vector<std::pair<std::int32_t, float>> ref(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    ref[static_cast<std::size_t>(i)] = {sp.p(i).i, sp.p(i).ux};
+  std::stable_sort(ref.begin(), ref.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  core::sort_particles(sp, vs::SortOrder::Standard, 0, 0, nv);
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_EQ(sp.p(i).i, ref[static_cast<std::size_t>(i)].first) << i;
+    ASSERT_EQ(sp.p(i).ux, ref[static_cast<std::size_t>(i)].second) << i;
+  }
+}
+
+TEST(SortPipeline, RadixFallbackPathMatchesCounting) {
+  // Force the radix fallback by omitting the key bound on a key range the
+  // counting predicate rejects for tiny n (huge sparse keys), and check
+  // the result is still sorted. n small so the test stays fast.
+  const index_t n = 3000;
+  core::Species sp = make_species(n, 1, 11);
+  std::mt19937_64 rng(13);
+  for (index_t i = 0; i < n; ++i)
+    sp.p(i).i = static_cast<std::int32_t>(rng() % (1u << 30));
+  core::sort_particles(sp, vs::SortOrder::Standard, 0, 0, 0);
+  EXPECT_TRUE(vs::is_sorted_ascending(sp.cell_keys()));
+}
+
+// ----------------------------------------------------------------------
+// Zero allocations in steady state.
+// ----------------------------------------------------------------------
+
+TEST(SortPipeline, SteadyStateZeroViewAllocations) {
+  const index_t n = 32768, nv = 4096;
+  core::Species sp = make_species(n, nv, 123);
+
+  // Warm-up: one sort per order sizes every workspace buffer (the key
+  // multiset is fixed, so rewritten-key bounds are identical each round).
+  core::sort_particles(sp, vs::SortOrder::Random, 0, 1, nv);
+  core::sort_particles(sp, vs::SortOrder::Standard, 0, 2, nv);
+  core::sort_particles(sp, vs::SortOrder::Strided, 0, 3, nv);
+  core::sort_particles(sp, vs::SortOrder::TiledStrided, 8, 4, nv);
+
+  const std::int64_t allocs0 = pk::view_alloc_count().load();
+  const std::int64_t grows0 = sp.sort_ws.grow_count;
+  const std::size_t hist_cap0 = sp.sort_ws.histogram.capacity();
+
+  for (int round = 0; round < 5; ++round) {
+    core::sort_particles(sp, vs::SortOrder::Random, 0, 100 + round, nv);
+    core::sort_particles(sp, vs::SortOrder::Standard, 0, 0, nv);
+    core::sort_particles(sp, vs::SortOrder::Strided, 0, 0, nv);
+    core::sort_particles(sp, vs::SortOrder::TiledStrided, 8, 0, nv);
+  }
+
+  EXPECT_EQ(pk::view_alloc_count().load() - allocs0, 0)
+      << "steady-state sort_particles allocated a pk::View";
+  EXPECT_EQ(sp.sort_ws.grow_count, grows0);
+  EXPECT_EQ(sp.sort_ws.histogram.capacity(), hist_cap0);
+}
+
+TEST(SortPipeline, WorkspaceGrowsGeometricallyOnCapacityIncrease) {
+  vs::SortWorkspace ws;
+  ws.reserve_pairs(1000);
+  EXPECT_EQ(ws.grow_count, 1);
+  ws.reserve_pairs(900);  // within capacity: no growth
+  EXPECT_EQ(ws.grow_count, 1);
+  ws.reserve_pairs(1100);  // grows to >= 1.5x
+  EXPECT_EQ(ws.grow_count, 2);
+  EXPECT_GE(ws.keys.size(), 1500);
+  ws.reserve_pairs(1500);  // covered by the geometric growth
+  EXPECT_EQ(ws.grow_count, 2);
+}
+
+TEST(SortPipeline, CellKeysIntoCallerView) {
+  const index_t n = 1000, nv = 64;
+  core::Species sp = make_species(n, nv, 9);
+  pk::View<std::uint32_t, 1> out("out", n + 100);  // larger than np is fine
+  sp.cell_keys(out);
+  const auto ref = sp.cell_keys();
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(out(i), ref(i)) << i;
+}
