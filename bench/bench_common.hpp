@@ -3,10 +3,12 @@
 // bench emits the rows/series its figure reports.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -81,14 +83,124 @@ inline std::string fmt(const char* f, double v) {
   return buf;
 }
 
+/// Repetition statistics. Benches report min-of-reps as the headline
+/// number (least-noise estimate of the kernel's true cost) and the mean
+/// alongside it so run-to-run variance is visible in the record.
+struct Timing {
+  double min_s = 1e300;
+  double mean_s = 0;
+  double max_s = 0;
+  double total_s = 0;
+  int reps = 0;
+
+  void add_sample(double s) {
+    if (s < min_s) min_s = s;
+    if (s > max_s) max_s = s;
+    total_s += s;
+    ++reps;
+    mean_s = total_s / reps;
+  }
+};
+
+/// Time `f` over `reps` repetitions (after `warmup` untimed runs),
+/// returning min/mean/max. `prep` runs untimed before every timed rep
+/// (e.g. re-shuffling the input a sort bench is about to consume); pass
+/// a no-op lambda when the workload is idempotent.
+template <class F, class Prep>
+Timing time_reps(int reps, int warmup, F&& f, Prep&& prep) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < warmup; ++i) {
+    prep(i - warmup);
+    f();
+  }
+  Timing t;
+  for (int r = 0; r < std::max(1, reps); ++r) {
+    prep(r);
+    const auto t0 = clock::now();
+    f();
+    t.add_sample(std::chrono::duration<double>(clock::now() - t0).count());
+  }
+  return t;
+}
+
+template <class F>
+Timing time_reps(int reps, int warmup, F&& f) {
+  return time_reps(reps, warmup, static_cast<F&&>(f), [](int) {});
+}
+
+/// Collects every Json record a bench prints and writes them out as
+/// `BENCH_<name>.json` (schema "vpic-bench-v1") when the process exits —
+/// or earlier via emit_bench_json(). The destination directory is
+/// $VPIC_BENCH_DIR when set, the working directory otherwise. Registration
+/// happens inside Json::print(), so any bench that emits records gets a
+/// machine-readable report file for free.
+class BenchReport {
+ public:
+  static BenchReport& instance() {
+    static BenchReport r;
+    return r;
+  }
+
+  void add(const std::string& bench, std::string record) {
+    records_[bench].push_back(std::move(record));
+  }
+
+  [[nodiscard]] const std::vector<std::string>& records(
+      const std::string& bench) const {
+    static const std::vector<std::string> empty;
+    auto it = records_.find(bench);
+    return it == records_.end() ? empty : it->second;
+  }
+
+  /// Write BENCH_<bench>.json; returns the path, or "" when there are no
+  /// records for `bench` or the file cannot be opened.
+  std::string write(const std::string& bench) const {
+    auto it = records_.find(bench);
+    if (it == records_.end() || it->second.empty()) return "";
+    std::string path;
+    if (const char* dir = std::getenv("VPIC_BENCH_DIR")) {
+      path = dir;
+      if (!path.empty() && path.back() != '/') path += '/';
+    }
+    path += "BENCH_" + bench + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return "";
+    }
+    std::fprintf(f, "{\"schema\":\"vpic-bench-v1\",\"bench\":\"%s\","
+                    "\"records\":[\n",
+                 bench.c_str());
+    for (std::size_t i = 0; i < it->second.size(); ++i)
+      std::fprintf(f, " %s%s\n", it->second[i].c_str(),
+                   i + 1 < it->second.size() ? "," : "");
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    return path;
+  }
+
+  void write_all() const {
+    for (const auto& [bench, recs] : records_) {
+      (void)recs;
+      write(bench);
+    }
+  }
+
+  ~BenchReport() { write_all(); }
+
+ private:
+  BenchReport() = default;
+  std::map<std::string, std::vector<std::string>> records_;
+};
+
 /// One-line JSON record emitter. Benches print one record per measurement
-/// (alongside the human-readable tables) so driver scripts can collect
-/// machine-readable `BENCH_<name>.json` files by grepping stdout for lines
-/// starting with '{'.
+/// (alongside the human-readable tables); print() also registers the
+/// record with BenchReport, which writes the aggregate
+/// `BENCH_<name>.json` at exit.
 class Json {
  public:
-  explicit Json(const std::string& bench) {
-    buf_ = "{\"bench\":\"" + bench + "\"";
+  explicit Json(std::string bench) : bench_(std::move(bench)) {
+    buf_ = "{\"bench\":\"" + bench_ + "\"";
   }
   Json& field(const char* k, const std::string& v) {
     buf_ += ",\"" + std::string(k) + "\":\"" + v + "\"";
@@ -110,10 +222,31 @@ class Json {
   Json& field(const char* k, int v) {
     return field(k, static_cast<std::int64_t>(v));
   }
-  void print() const { std::printf("%s}\n", buf_.c_str()); }
+  /// Record min-of-reps (the headline `<prefix>_ms`) plus mean and rep
+  /// count for a timed section.
+  Json& timing(const std::string& prefix, const Timing& t) {
+    field((prefix + "_ms").c_str(), t.min_s * 1e3);
+    field((prefix + "_mean_ms").c_str(), t.mean_s * 1e3);
+    field((prefix + "_reps").c_str(), static_cast<std::int64_t>(t.reps));
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return buf_ + "}"; }
+  void print() const {
+    const std::string rec = str();
+    std::printf("%s\n", rec.c_str());
+    BenchReport::instance().add(bench_, rec);
+  }
 
  private:
+  std::string bench_;
   std::string buf_;
 };
+
+/// Flush the collected records for `bench` to BENCH_<bench>.json now
+/// (the BenchReport destructor also does this at exit). Returns the path
+/// written, or "" when nothing was recorded.
+inline std::string emit_bench_json(const std::string& bench) {
+  return BenchReport::instance().write(bench);
+}
 
 }  // namespace vpic::bench

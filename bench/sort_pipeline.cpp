@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
   for (const index_t nv :
        {index_t{1} << 12, index_t{1} << 16, index_t{1} << 20}) {
     if (nv > n) continue;
-    double best_radix = 1e30, best_cnt = 1e30;
+    bench::Timing radix_t, cnt_t;
     for (int r = 0; r < reps; ++r) {
       pk::View<std::uint32_t, 1> keys("k", n), vals("v", n);
       for (index_t i = 0; i < n; ++i) {
@@ -116,24 +116,24 @@ int main(int argc, char** argv) {
       {
         pk::Timer t;
         sort::radix_sort_by_key(keys, vals);
-        best_radix = std::min(best_radix, t.seconds());
+        radix_t.add_sample(t.seconds());
       }
       {
         pk::Timer t;
         sort::counting_sort_by_key(keys2, vals2, nv);
-        best_cnt = std::min(best_cnt, t.seconds());
+        cnt_t.add_sample(t.seconds());
       }
     }
-    const double speedup = best_radix / best_cnt;
+    const double speedup = radix_t.min_s / cnt_t.min_s;
     kt.row({"2^" + std::to_string(std::bit_width(static_cast<std::uint64_t>(nv)) - 1),
-            bench::fmt("%.2f", best_radix * 1e3),
-            bench::fmt("%.2f", best_cnt * 1e3), bench::fmt("%.2fx", speedup)});
+            bench::fmt("%.2f", radix_t.min_s * 1e3),
+            bench::fmt("%.2f", cnt_t.min_s * 1e3), bench::fmt("%.2fx", speedup)});
     bench::Json("sort_pipeline")
         .field("mode", "kernel")
         .field("n", static_cast<std::int64_t>(n))
         .field("nv", static_cast<std::int64_t>(nv))
-        .field("radix_ms", best_radix * 1e3)
-        .field("counting_ms", best_cnt * 1e3)
+        .timing("radix", radix_t)
+        .timing("counting", cnt_t)
         .field("speedup", speedup)
         .print();
   }
@@ -157,39 +157,37 @@ int main(int argc, char** argv) {
       core::sort_particles(ws_sp, sort::SortOrder::Random, 0, 7, nv);
       core::sort_particles(ws_sp, order, 8, 0, nv);
 
-      double best_legacy = 1e30, best_ws = 1e30;
       const std::int64_t allocs0 = pk::view_alloc_count().load();
       const std::int64_t grows0 = ws_sp.sort_ws.grow_count;
-      for (int r = 0; r < reps; ++r) {
-        // Re-shuffle (untimed) so each rep sorts a disordered array.
-        core::sort_particles(ws_sp, sort::SortOrder::Random, 0, 100 + r, nv);
-        best_ws = std::min(best_ws, [&] {
-          pk::Timer t;
-          core::sort_particles(ws_sp, order, 8, 0, nv);
-          return t.seconds();
-        }());
-      }
+      // Each timed rep sorts a freshly disordered array: the prep lambda
+      // re-shuffles (untimed) before the measured sort.
+      const bench::Timing ws_t = bench::time_reps(
+          reps, 0, [&] { core::sort_particles(ws_sp, order, 8, 0, nv); },
+          [&](int r) {
+            core::sort_particles(ws_sp, sort::SortOrder::Random, 0, 100 + r,
+                                 nv);
+          });
       const std::int64_t steady_allocs =
           pk::view_alloc_count().load() - allocs0;
       const std::int64_t steady_grows = ws_sp.sort_ws.grow_count - grows0;
-      for (int r = 0; r < reps; ++r) {
-        core::sort_particles(legacy_sp, sort::SortOrder::Random, 0, 100 + r,
-                             nv);
-        best_legacy = std::min(best_legacy,
-                               legacy_sort_particles(legacy_sp, order, 8));
-      }
-      const double speedup = best_legacy / best_ws;
+      const bench::Timing legacy_t = bench::time_reps(
+          reps, 0, [&] { legacy_sort_particles(legacy_sp, order, 8); },
+          [&](int r) {
+            core::sort_particles(legacy_sp, sort::SortOrder::Random, 0,
+                                 100 + r, nv);
+          });
+      const double speedup = legacy_t.min_s / ws_t.min_s;
       pt.row({sort::to_string(order), std::to_string(nv),
-              bench::fmt("%.2f", best_legacy * 1e3),
-              bench::fmt("%.2f", best_ws * 1e3),
+              bench::fmt("%.2f", legacy_t.min_s * 1e3),
+              bench::fmt("%.2f", ws_t.min_s * 1e3),
               bench::fmt("%.2fx", speedup), std::to_string(steady_allocs)});
       bench::Json("sort_pipeline")
           .field("mode", "pipeline")
           .field("order", sort::to_string(order))
           .field("n", static_cast<std::int64_t>(n))
           .field("nv", static_cast<std::int64_t>(nv))
-          .field("radix_ms", best_legacy * 1e3)
-          .field("counting_ms", best_ws * 1e3)
+          .timing("radix", legacy_t)
+          .timing("counting", ws_t)
           .field("speedup", speedup)
           .field("steady_state_view_allocs", steady_allocs)
           .field("steady_state_workspace_grows", steady_grows)
@@ -201,5 +199,9 @@ int main(int argc, char** argv) {
       "\nAcceptance: counting path >= 1.5x the radix path for nv <= 2^16,\n"
       "and 'steady allocs' (pk::View allocations across post-warm-up\n"
       "sorts, including the untimed re-shuffles) must be 0.\n");
+
+  const std::string report = bench::emit_bench_json("sort_pipeline");
+  if (!report.empty())
+    std::printf("\nmachine-readable report: %s\n", report.c_str());
   return 0;
 }

@@ -1,8 +1,11 @@
 #include "core/accumulator.hpp"
 
+#include "prof/prof.hpp"
+
 namespace vpic::core {
 
 void AccumulatorArray::reduce_ghosts_periodic() {
+  prof::ScopedRegion region("accumulator/reduce_ghosts");
   const Grid& g = grid;
   auto fold = [&](index_t ghost, index_t interior) {
     Accumulator& gh = a(ghost);
@@ -52,7 +55,8 @@ void AccumulatorArray::unload(FieldArray& f, std::uint8_t wrap_mask) const {
   auto wrap = [wrap_mask](int i, int n, int axis) {
     return (i < 1 && (wrap_mask & (1u << axis))) ? i + n : i;
   };
-  pk::parallel_for(pk::RangePolicy<>(1, g.nz + 1), [&, g](index_t izz) {
+  pk::parallel_for("accumulator/unload", pk::RangePolicy<>(1, g.nz + 1),
+                   [&, g](index_t izz) {
     const int iz = static_cast<int>(izz);
     for (int iy = 1; iy <= g.ny; ++iy) {
       for (int ix = 1; ix <= g.nx; ++ix) {

@@ -6,9 +6,9 @@ namespace {
 
 /// Iterate interior cells (1..n inclusive per axis) in parallel over z.
 template <class F>
-void for_interior(const Grid& g, F&& f) {
+void for_interior(const char* name, const Grid& g, F&& f) {
   pk::parallel_for(
-      pk::RangePolicy<>(1, g.nz + 1), [&, g](index_t iz) {
+      name, pk::RangePolicy<>(1, g.nz + 1), [&, g](index_t iz) {
         for (int iy = 1; iy <= g.ny; ++iy)
           for (int ix = 1; ix <= g.nx; ++ix)
             f(ix, iy, static_cast<int>(iz));
@@ -22,7 +22,7 @@ void FieldArray::advance_b_half() {
   const float px = 0.5f * g.cvac * g.dt / g.dx;
   const float py = 0.5f * g.cvac * g.dt / g.dy;
   const float pz = 0.5f * g.cvac * g.dt / g.dz;
-  for_interior(g, [&](int ix, int iy, int iz) {
+  for_interior("field/advance_b", g, [&](int ix, int iy, int iz) {
     const index_t v = g.voxel(ix, iy, iz);
     const index_t vx = g.voxel(ix + 1, iy, iz);
     const index_t vy = g.voxel(ix, iy + 1, iz);
@@ -41,7 +41,7 @@ void FieldArray::advance_e() {
   const float py = c2dt / g.dy;
   const float pz = c2dt / g.dz;
   const float jscale = g.dt;  // eps0 = 1
-  for_interior(g, [&](int ix, int iy, int iz) {
+  for_interior("field/advance_e", g, [&](int ix, int iy, int iz) {
     const index_t v = g.voxel(ix, iy, iz);
     const index_t vmy = g.voxel(ix, iy - 1, iz);
     const index_t vmz = g.voxel(ix, iy, iz - 1);
@@ -56,7 +56,8 @@ void FieldArray::update_ghosts_periodic(std::uint8_t axis_mask) {
   const Grid& g = grid;
   auto copy_all = [&](pk::View<float, 1>& f) {
     if (axis_mask & 0b001) {  // x ghosts
-      pk::parallel_for(pk::RangePolicy<>(0, g.sz()), [&, g](index_t iz) {
+      pk::parallel_for("field/ghosts_x", pk::RangePolicy<>(0, g.sz()),
+                       [&, g](index_t iz) {
         for (int iy = 0; iy < g.sy(); ++iy) {
           f(g.voxel(0, iy, static_cast<int>(iz))) =
               f(g.voxel(g.nx, iy, static_cast<int>(iz)));
@@ -66,7 +67,8 @@ void FieldArray::update_ghosts_periodic(std::uint8_t axis_mask) {
       });
     }
     if (axis_mask & 0b010) {  // y ghosts
-      pk::parallel_for(pk::RangePolicy<>(0, g.sz()), [&, g](index_t iz) {
+      pk::parallel_for("field/ghosts_y", pk::RangePolicy<>(0, g.sz()),
+                       [&, g](index_t iz) {
         for (int ix = 0; ix < g.sx(); ++ix) {
           f(g.voxel(ix, 0, static_cast<int>(iz))) =
               f(g.voxel(ix, g.ny, static_cast<int>(iz)));
@@ -76,7 +78,8 @@ void FieldArray::update_ghosts_periodic(std::uint8_t axis_mask) {
       });
     }
     if (axis_mask & 0b100) {  // z ghosts
-      pk::parallel_for(pk::RangePolicy<>(0, g.sy()), [&, g](index_t iy) {
+      pk::parallel_for("field/ghosts_z", pk::RangePolicy<>(0, g.sy()),
+                       [&, g](index_t iy) {
         for (int ix = 0; ix < g.sx(); ++ix) {
           f(g.voxel(ix, static_cast<int>(iy), 0)) =
               f(g.voxel(ix, static_cast<int>(iy), g.nz));
@@ -117,7 +120,7 @@ double FieldArray::field_energy() const {
   const double dv = static_cast<double>(g.dx) * g.dy * g.dz;
   double total = 0;
   pk::parallel_reduce(
-      pk::RangePolicy<>(1, g.nz + 1),
+      "field/energy", pk::RangePolicy<>(1, g.nz + 1),
       [&, g](index_t iz, double& acc) {
         for (int iy = 1; iy <= g.ny; ++iy)
           for (int ix = 1; ix <= g.nx; ++ix) {

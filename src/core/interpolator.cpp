@@ -6,7 +6,8 @@ void InterpolatorArray::load(const FieldArray& f) {
   const Grid& g = grid;
   const float fourth = 0.25f;
   const float half = 0.5f;
-  pk::parallel_for(pk::RangePolicy<>(1, g.nz + 1), [&, g](index_t izz) {
+  pk::parallel_for("interp/load", pk::RangePolicy<>(1, g.nz + 1),
+                   [&, g](index_t izz) {
     const int iz = static_cast<int>(izz);
     for (int iy = 1; iy <= g.ny; ++iy) {
       for (int ix = 1; ix <= g.nx; ++ix) {

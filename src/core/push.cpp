@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "core/move_p.hpp"
+#include "prof/prof.hpp"
 #include "simd/simd.hpp"
 #include "v4/v4.hpp"
 
@@ -92,7 +93,7 @@ void push_auto(Species& sp, const InterpolatorArray& interp,
                const MoverOptions& opts) {
   const PushConsts c = make_consts(sp, g);
   auto& pp = sp.p;
-  pk::parallel_for(sp.np, [&](index_t n) {
+  pk::parallel_for("advance_p[auto]", sp.np, [&](index_t n) {
     Particle p = pp(n);
     const Interpolator& ip = interp(p.i);
     const FieldsAtPoint f = interpolate(ip, p.dx, p.dy, p.dz);
@@ -121,7 +122,7 @@ void push_guided(Species& sp, const InterpolatorArray& interp,
   const PushConsts c = make_consts(sp, g);
   auto& pp = sp.p;
   const index_t nblocks = (sp.np + kBlock - 1) / kBlock;
-  pk::parallel_for(nblocks, [&](index_t b) {
+  pk::parallel_for("advance_p[guided]", nblocks, [&](index_t b) {
     const index_t n0 = b * kBlock;
     const index_t n1 = std::min(sp.np, n0 + kBlock);
     const int cnt = static_cast<int>(n1 - n0);
@@ -177,7 +178,7 @@ void push_manual(Species& sp, const InterpolatorArray& interp,
   auto& pp = sp.p;
   const index_t nfull = sp.np / W;
 
-  pk::parallel_for(nfull, [&](index_t b) {
+  pk::parallel_for("advance_p[manual]", nfull, [&](index_t b) {
     const index_t n0 = b * W;
     // AoS -> SoA in registers: 8 particles x 8 fields.
     auto rows = simd::load_transpose<float, W>(
@@ -268,7 +269,7 @@ void push_adhoc(Species& sp, const InterpolatorArray& interp,
   auto& pp = sp.p;
   const index_t nfull = sp.np / W;
 
-  pk::parallel_for(nfull, [&](index_t b) {
+  pk::parallel_for("advance_p[adhoc]", nfull, [&](index_t b) {
     const index_t n0 = b * W;
     const float* base = reinterpret_cast<const float*>(&pp(n0));
     // Transpose positions (fields 0-3) and momenta+weight (fields 4-7).
@@ -354,6 +355,7 @@ void push_adhoc(Species& sp, const InterpolatorArray& interp,
 void advance_species(Species& sp, const InterpolatorArray& interp,
                      AccumulatorArray& acc, const Grid& g,
                      VectorStrategy strategy, const MoverOptions& opts) {
+  prof::ScopedRegion region("advance_species");
   switch (strategy) {
     case VectorStrategy::Auto:
       push_auto(sp, interp, acc, g, opts);

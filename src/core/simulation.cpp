@@ -1,7 +1,6 @@
 #include "core/simulation.hpp"
 
 #include "core/rng.hpp"
-#include "pk/timer.hpp"
 
 namespace vpic::core {
 
@@ -44,30 +43,44 @@ void Simulation::load_uniform_plasma(std::size_t species_idx, int ppc,
 }
 
 void Simulation::step() {
-  interp_.load(fields_);
-  acc_.clear();
+  prof::ScopedRegion step_region("step");
 
   {
-    pk::Timer t;
-    for (auto& sp : species_)
-      advance_species(sp, interp_, acc_, fields_.grid, cfg_.strategy);
-    push_seconds_ += t.seconds();
+    prof::ScopedRegion r("interpolate");
+    interp_.load(fields_);
+    acc_.clear();
   }
 
-  acc_.reduce_ghosts_periodic();
-  acc_.unload(fields_);
+  {
+    // The sink keeps the legacy push_seconds() accessor live even with
+    // profiling off; with it on, the same interval is the "step/push"
+    // region (with the per-strategy kernels as children).
+    prof::ScopedRegion r("push", &push_seconds_);
+    for (auto& sp : species_)
+      advance_species(sp, interp_, acc_, fields_.grid, cfg_.strategy);
+  }
 
-  fields_.advance_b_half();
-  fields_.update_ghosts_periodic();
-  fields_.advance_e();
-  fields_.update_ghosts_periodic();
-  fields_.advance_b_half();
-  fields_.update_ghosts_periodic();
+  {
+    prof::ScopedRegion r("accumulate");
+    acc_.reduce_ghosts_periodic();
+    acc_.unload(fields_);
+  }
+
+  {
+    prof::ScopedRegion r("field_advance");
+    fields_.advance_b_half();
+    fields_.update_ghosts_periodic();
+    fields_.advance_e();
+    fields_.update_ghosts_periodic();
+    fields_.advance_b_half();
+    fields_.update_ghosts_periodic();
+  }
 
   ++step_count_;
   if (injection_hook_) injection_hook_(*this);
   if (cfg_.energy_interval > 0 &&
       step_count_ % cfg_.energy_interval == 0) {
+    prof::ScopedRegion r("diagnostics");
     const auto e = energies();
     energy_history_.record(step_count_, e.field, e.species);
   }
@@ -75,7 +88,7 @@ void Simulation::step() {
     std::uint32_t tile = cfg_.sort_tile;
     if (tile == 0)
       tile = static_cast<std::uint32_t>(pk::DefaultExecSpace::concurrency());
-    pk::Timer t;
+    prof::ScopedRegion r("sort", &sort_seconds_);
     // Cell keys are voxel indices, bounded by grid.nv(): passing the bound
     // lets the standard order skip its min/max reduce and go straight to
     // the single-pass counting sort.
@@ -83,7 +96,6 @@ void Simulation::step() {
       sort_particles(sp, cfg_.sort_order, tile,
                      cfg_.seed + static_cast<std::uint64_t>(step_count_),
                      fields_.grid.nv());
-    sort_seconds_ += t.seconds();
   }
 }
 

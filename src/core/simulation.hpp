@@ -25,6 +25,7 @@
 #include "core/particle.hpp"
 #include "core/push.hpp"
 #include "core/sort_particles.hpp"
+#include "prof/prof.hpp"
 
 namespace vpic::core {
 
@@ -92,12 +93,27 @@ class Simulation {
 
   /// Time spent in advance_species since construction (seconds) — the
   /// "particle push" runtime metric of the paper's Figs. 4/7.
+  ///
+  /// Deprecated: this accessor is kept source-compatible for the existing
+  /// benches/tests, but the measurement now comes from the vpic::prof
+  /// "push" region instrumenting step() (docs/PROFILING.md). New code
+  /// should read prof::report() — it has per-region count/min/max/self
+  /// time, and per-kernel breakdowns when VPIC_PROF is enabled.
   [[nodiscard]] double push_seconds() const { return push_seconds_; }
 
   /// Time spent re-sorting particles since construction (seconds), kept
   /// separate from push_seconds() so the sort-interval sweeps can report
   /// sort cost and push cost independently.
+  ///
+  /// Deprecated: thin wrapper over the prof "sort" region, like
+  /// push_seconds().
   [[nodiscard]] double sort_seconds() const { return sort_seconds_; }
+
+  /// Snapshot of the global profiling state (regions, kernels, view
+  /// allocations) — JSON via Report::to_json(), human table via
+  /// Report::human_table(). Populated when profiling is enabled
+  /// (VPIC_PROF=summary|trace or prof::enable()).
+  [[nodiscard]] prof::Report profile_report() const { return prof::report(); }
 
   /// Per-step injection hook (e.g. a deck's laser antenna), called after
   /// the field advance of each step.
@@ -119,6 +135,8 @@ class Simulation {
   std::function<void(Simulation&)> injection_hook_;
   EnergyHistory energy_history_;
   std::int64_t step_count_ = 0;
+  // Accumulated by the prof::ScopedRegion sinks in step(); see the
+  // deprecation notes on push_seconds()/sort_seconds().
   double push_seconds_ = 0;
   double sort_seconds_ = 0;
 };

@@ -21,6 +21,7 @@
 #pragma once
 
 #include "core/particle.hpp"
+#include "prof/prof.hpp"
 #include "sort/counting.hpp"
 #include "sort/order_checks.hpp"
 #include "sort/radix.hpp"
@@ -39,6 +40,7 @@ inline void sort_particles(Species& sp, sort::SortOrder order,
                            index_t key_bound = 0) {
   const index_t n = sp.np;
   if (n <= 1) return;
+  prof::ScopedRegion region("sort_particles");
   sort::SortWorkspace& ws = sp.sort_ws;
   ws.reserve_pairs(n);
   const int nthreads = pk::DefaultExecSpace::concurrency();
@@ -51,7 +53,7 @@ inline void sort_particles(Species& sp, sort::SortOrder order,
     // Permutation-only Fisher-Yates (same swap sequence the pair shuffle
     // in sort::random_shuffle performs), then a single gather.
     index_t* const perm = ws.perm.data();
-    pk::parallel_for(n, [=](index_t i) { perm[i] = i; });
+    pk::parallel_for("sort/perm_init", n, [=](index_t i) { perm[i] = i; });
     std::uint64_t state = seed ? seed : 0x9e3779b97f4a7c15ull;
     auto next = [&state]() {
       state ^= state >> 12;
@@ -64,7 +66,8 @@ inline void sort_particles(Species& sp, sort::SortOrder order,
           static_cast<index_t>(next() % static_cast<std::uint64_t>(i + 1));
       std::swap(perm[i], perm[j]);
     }
-    pk::parallel_for(n, [=](index_t i) { dst[i] = src[perm[i]]; });
+    pk::parallel_for("sort/shuffle_gather", n,
+                     [=](index_t i) { dst[i] = src[perm[i]]; });
     std::swap(sp.p, sp.p_scratch);
     return;
   }
@@ -123,14 +126,15 @@ inline void sort_particles(Species& sp, sort::SortOrder order,
     // General fallback: radix argsort out of the workspace buffers, then
     // one gather of the particle records.
     index_t* const perm = ws.perm.data();
-    pk::parallel_for(n, [=](index_t i) { perm[i] = i; });
+    pk::parallel_for("sort/perm_init", n, [=](index_t i) { perm[i] = i; });
     const int passes =
         sort::detail::passes_for(bound > 0 ? bound - 1 : std::uint64_t{0});
     index_t* offsets =
         ws.reserve_histogram(static_cast<std::size_t>(nthreads) * 256);
     sort::detail::radix_passes(keys, perm, keys_alt, ws.perm_alt.data(), n,
                                passes, offsets, nthreads);
-    pk::parallel_for(n, [=](index_t i) { dst[i] = src[perm[i]]; });
+    pk::parallel_for("sort/radix_gather", n,
+                     [=](index_t i) { dst[i] = src[perm[i]]; });
   }
   std::swap(sp.p, sp.p_scratch);
 }

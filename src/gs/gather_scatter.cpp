@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "prof/prof.hpp"
+
 namespace vpic::gs {
 
 pk::View<std::uint32_t, 1> make_keys(Pattern p, index_t n, index_t unique) {
@@ -72,8 +74,9 @@ HostResult run_gather(const pk::View<std::uint32_t, 1>& keys,
   const std::uint32_t* PK_RESTRICT k = keys.data();
   const double* PK_RESTRICT d = data.data();
   double* PK_RESTRICT o = out.data();
+  prof::ScopedRegion region("gs/gather");
   pk::Timer t;
-  pk::parallel_for(n, [=](index_t i) { o[i] = d[k[i]]; });
+  pk::parallel_for("gs/gather", n, [=](index_t i) { o[i] = d[k[i]]; });
   const double sec = t.seconds();
   return finish(sec, static_cast<std::uint64_t>(n) * (4 + 8 + 8),
                 o[0] + o[n / 2] + o[n - 1]);
@@ -86,8 +89,10 @@ HostResult run_scatter_add(const pk::View<std::uint32_t, 1>& keys,
   const std::uint32_t* PK_RESTRICT k = keys.data();
   double* PK_RESTRICT d = data.data();
   const double* PK_RESTRICT s = src.data();
+  prof::ScopedRegion region("gs/scatter_add");
   pk::Timer t;
-  pk::parallel_for(n, [=](index_t i) { pk::atomic_add(&d[k[i]], s[i]); });
+  pk::parallel_for("gs/scatter_add", n,
+                   [=](index_t i) { pk::atomic_add(&d[k[i]], s[i]); });
   const double sec = t.seconds();
   return finish(sec, static_cast<std::uint64_t>(n) * (4 + 16 + 8),
                 d[k[0]] + d[k[n - 1]]);
@@ -101,8 +106,9 @@ HostResult run_stencil5(const pk::View<std::uint32_t, 1>& keys,
   const std::uint32_t* PK_RESTRICT k = keys.data();
   double* PK_RESTRICT d = data.data();
   double* PK_RESTRICT o = out.data();
+  prof::ScopedRegion region("gs/stencil5");
   pk::Timer t;
-  pk::parallel_for(n, [=](index_t i) {
+  pk::parallel_for("gs/stencil5", n, [=](index_t i) {
     const auto c = static_cast<index_t>(k[i]);
     const index_t xm = (c + m - 1) % m;
     const index_t xp = (c + 1) % m;
@@ -126,8 +132,9 @@ HostResult run_gather_scatter(const pk::View<std::uint32_t, 1>& keys,
   const std::uint32_t* PK_RESTRICT k = keys.data();
   double* PK_RESTRICT d = data.data();
   double* PK_RESTRICT o = out.data();
+  prof::ScopedRegion region("gs/gather_scatter");
   pk::Timer t;
-  pk::parallel_for(n, [=](index_t i) {
+  pk::parallel_for("gs/gather_scatter", n, [=](index_t i) {
     const double v = d[k[i]];
     o[i] = v;
     pk::atomic_add(&d[k[i]], 1.0);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include "prof/prof.hpp"
 #include <exception>
 #include <stdexcept>
 #include <thread>
@@ -139,6 +140,7 @@ int world_size(const World* w) { return w->nranks(); }
 
 void Request::wait() {
   if (!state_ || state_->done) return;  // send/null request: complete
+  prof::ScopedRegion region("mpi/wait_recv");
   state_->world->receive(state_->src, state_->dst, state_->tag, state_->buf,
                          state_->capacity);
   state_->done = true;
@@ -159,6 +161,7 @@ int Comm::size() const noexcept { return world_->nranks(); }
 Request Comm::isend_bytes(int dest, int tag, const void* data,
                           std::size_t bytes) {
   assert(dest >= 0 && dest < size());
+  prof::ScopedRegion region("mpi/isend");
   world_->post(rank_, dest, tag, data, bytes);
   return Request{};  // buffered send: complete on return
 }
@@ -177,10 +180,14 @@ Request Comm::irecv_bytes(int src, int tag, void* data, std::size_t bytes) {
 }
 
 std::size_t Comm::probe_bytes(int src, int tag) {
+  prof::ScopedRegion region("mpi/probe");
   return world_->probe(src, rank_, tag);
 }
 
-void Comm::barrier() { world_->barrier(); }
+void Comm::barrier() {
+  prof::ScopedRegion region("mpi/barrier");
+  world_->barrier();
+}
 
 void run(int nranks, const std::function<void(Comm&)>& fn) {
   if (nranks < 1) throw std::invalid_argument("minimpi: nranks must be >= 1");

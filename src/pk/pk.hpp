@@ -6,6 +6,7 @@
 #include "pk/execution.hpp"
 #include "pk/layout.hpp"
 #include "pk/parallel.hpp"
+#include "pk/prof_hooks.hpp"
 #include "pk/reducers.hpp"
 #include "pk/scatter_view.hpp"
 #include "pk/timer.hpp"

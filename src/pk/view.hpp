@@ -19,6 +19,7 @@
 
 #include "pk/config.hpp"
 #include "pk/layout.hpp"
+#include "pk/prof_hooks.hpp"
 
 namespace vpic::pk {
 
@@ -26,9 +27,10 @@ namespace vpic::pk {
 /// only; unmanaged wrappers and aliases don't count). Test/bench hook: the
 /// zero-allocation sort pipeline asserts this stays flat across
 /// steady-state sorts (tests/test_sort_pipeline.cpp, bench/sort_pipeline).
+/// Delegates to the prof allocation counter so registered profiling
+/// handlers (src/prof) see the same event stream this counter counts.
 inline std::atomic<std::int64_t>& view_alloc_count() noexcept {
-  static std::atomic<std::int64_t> count{0};
-  return count;
+  return prof::alloc_count();
 }
 
 /// Tag types mirroring Kokkos memory spaces. This build is host-only (the
@@ -67,8 +69,18 @@ class View {
     strides_ = Layout::template strides<Rank>(ext_);
     size_ = 1;
     for (auto e : ext_) size_ *= e;
-    data_ = std::shared_ptr<T[]>(new T[static_cast<std::size_t>(size_)]());
-    ++view_alloc_count();
+    T* raw = new T[static_cast<std::size_t>(size_)]();
+    const auto bytes =
+        static_cast<std::uint64_t>(size_) * static_cast<std::uint64_t>(sizeof(T));
+    // The deleter fires the matching deallocate event when the last owner
+    // releases the buffer (alloc/dealloc pairing is asserted in
+    // tests/test_prof.cpp).
+    data_ = std::shared_ptr<T[]>(
+        raw, [label = label_, bytes](T* p) {
+          prof::notify_deallocate(MemSpace::name(), label.c_str(), p, bytes);
+          delete[] p;
+        });
+    prof::notify_allocate(MemSpace::name(), label_.c_str(), raw, bytes);
   }
 
   /// Unmanaged wrapper around caller-owned memory (Kokkos unmanaged views).

@@ -1,0 +1,138 @@
+// prof/prof.hpp
+//
+// vpic::prof — the observability subsystem (docs/PROFILING.md). Modeled on
+// the Kokkos Tools architecture: the portability layer fires events
+// through a registrable hook table (pk/prof_hooks.hpp); this module is the
+// built-in tool that consumes them. It provides
+//
+//  * a hierarchical region profiler: push_region/pop_region (or RAII
+//    ScopedRegion) aggregate count / total / min / max / self time per
+//    region *path* ("step/push/advance_p[auto]"), with kernel dispatches
+//    appearing as child regions of whatever region was open;
+//  * a chrome://tracing JSON trace writer (load the file in
+//    chrome://tracing or https://ui.perfetto.dev);
+//  * an allocation tracker pairing pk::View allocate/deallocate events
+//    (live/peak bytes, unmatched frees) that subsumes the
+//    pk::view_alloc_count counter.
+//
+// Activation: set VPIC_PROF=summary or VPIC_PROF=trace in the environment
+// (any binary linking this library auto-enables at startup and emits the
+// summary table / trace file at exit), or call prof::enable(Mode)
+// programmatically. When off, annotated code costs one predictable branch
+// per region or dispatch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vpic::prof {
+
+enum class Mode : std::uint8_t { Off, Summary, Trace };
+
+const char* to_string(Mode m) noexcept;
+
+/// Parse VPIC_PROF (off|summary|trace, default off; unknown values warn on
+/// stderr and resolve to off), mirroring how pk::initialize reads
+/// OMP_NUM_THREADS.
+Mode mode_from_env() noexcept;
+
+/// Install (or, with Mode::Off, remove) the built-in handlers on the
+/// pk::prof hook table. Not thread-safe against in-flight dispatch:
+/// enable/disable from serial code, as with Kokkos Tools.
+void enable(Mode m);
+void disable();
+
+[[nodiscard]] Mode mode() noexcept;
+[[nodiscard]] bool enabled() noexcept;
+
+/// Open / close a named region on the calling thread. Pops without a
+/// matching push are counted (Report::unbalanced_pops) and otherwise
+/// ignored; regions never closed are visible as Report::open_regions.
+void push_region(const char* name);
+void pop_region();
+
+/// RAII region. The optional `sink` accumulates the region's wall time
+/// even when profiling is off — it is how Simulation keeps its legacy
+/// push_seconds()/sort_seconds() accessors live at zero configuration.
+class ScopedRegion {
+ public:
+  explicit ScopedRegion(const char* name, double* sink = nullptr)
+      : sink_(sink) {
+    if (sink_) start_ = std::chrono::steady_clock::now();
+    push_region(name);
+  }
+  ~ScopedRegion() {
+    pop_region();
+    if (sink_)
+      *sink_ += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+  }
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Aggregated statistics for one region path.
+struct RegionStats {
+  std::string path;        // "a/b/c" — '/'-joined nesting
+  std::uint64_t count = 0; // times the region closed
+  double total_s = 0;      // inclusive wall time
+  double min_s = 0;
+  double max_s = 0;
+  double child_s = 0;      // time attributed to child regions/kernels
+  [[nodiscard]] double self_s() const noexcept { return total_s - child_s; }
+  [[nodiscard]] double mean_s() const noexcept {
+    return count ? total_s / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// View allocation accounting (fed by pk::View allocate/deallocate events).
+struct AllocStats {
+  std::int64_t allocs = 0;
+  std::int64_t deallocs = 0;
+  std::int64_t unmatched_deallocs = 0;  // frees with no observed allocation
+  std::int64_t live_bytes = 0;
+  std::int64_t peak_bytes = 0;
+  std::int64_t total_bytes = 0;  // cumulative allocated
+};
+
+struct Report {
+  Mode mode = Mode::Off;
+  std::vector<RegionStats> regions;  // sorted by path
+  AllocStats alloc;
+  std::uint64_t open_regions = 0;      // pushed but not yet popped
+  std::uint64_t unbalanced_pops = 0;   // pops with empty stack
+  std::uint64_t dropped_trace_events = 0;
+
+  /// Machine-readable form (schema "vpic-prof-v1").
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable fixed-width table (the VPIC_PROF=summary exit output).
+  [[nodiscard]] std::string human_table() const;
+};
+
+/// Snapshot of everything accumulated since enable()/reset().
+[[nodiscard]] Report report();
+
+/// Clear accumulated regions, allocation stats and trace events. Does NOT
+/// reset pk::view_alloc_count (that counter is cumulative by contract).
+void reset();
+
+/// Total inclusive seconds of every region whose path's last segment (or
+/// whole path) equals `name` — the "thin wrapper" backing for legacy
+/// accessors like Simulation::push_seconds.
+[[nodiscard]] double region_total_seconds(const std::string& name);
+
+/// Serialize the collected trace in chrome://tracing "Trace Event" JSON.
+/// Only populated in Mode::Trace.
+[[nodiscard]] std::string trace_json();
+
+/// Write trace_json() to `path`; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace vpic::prof
