@@ -7,6 +7,12 @@
 // Expected shape: on NVIDIA, strided > 2x faster than standard and
 // tiled-strided ~2x strided; on AMD, random/standard an order of magnitude
 // slower than strided/tiled-strided.
+//
+// The "run-aware" column models the standard order pushed through the
+// run-aware pipeline (PushModelParams::run_aware: one gather + one batched
+// scatter per same-cell run, docs/PUSH.md) — the modeled-GPU counterpart
+// of the CPU engine's fast path. One JSON record per (GPU, order) lands in
+// BENCH_fig7_push_sorting_gpu.json (schema vpic-bench-v1).
 #include <vector>
 
 #include "bench_common.hpp"
@@ -52,7 +58,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(grid_points));
 
   bench::Table t({"GPU", "random (ms)", "standard (ms)", "strided (ms)",
-                  "tiled-strided (ms)", "best vs standard"});
+                  "tiled-strided (ms)", "run-aware (ms)",
+                  "best vs standard"});
   for (const auto& name : {"A100", "H100", "MI250", "MI300A"}) {
     const auto& dev = gpusim::device(name);
     const auto tile = static_cast<std::uint32_t>(3 * dev.core_count);
@@ -67,10 +74,42 @@ int main(int argc, char** argv) {
       if (order == sort::SortOrder::Standard) std_ms = ms;
       if (order != sort::SortOrder::Random) best_ms = std::min(best_ms, ms);
       row.push_back(bench::fmt("%.4f", ms));
+
+      bench::Json j("fig7_push_sorting_gpu");
+      j.field("gpu", name)
+          .field("order", sort::to_string(order))
+          .field("particles", static_cast<std::int64_t>(res.particles))
+          .field("runs", static_cast<std::int64_t>(res.runs))
+          .field("push_ms", ms)
+          .field("pushes_per_ns", res.pushes_per_ns);
+      j.print();
+    }
+    // Run-aware pipeline on the standard (cell-sorted) order.
+    {
+      gpusim::PushModelParams pm;
+      pm.run_aware = true;
+      const auto cells =
+          order_cells(keys, sort::SortOrder::Standard, tile);
+      const auto res = gpusim::model_push(dev, cells, grid_points, pm);
+      const double ms = res.timing.seconds * 1e3;
+      best_ms = std::min(best_ms, ms);
+      row.push_back(bench::fmt("%.4f", ms));
+
+      bench::Json j("fig7_push_sorting_gpu");
+      j.field("gpu", name)
+          .field("order", "standard+run_aware")
+          .field("particles", static_cast<std::int64_t>(res.particles))
+          .field("runs", static_cast<std::int64_t>(res.runs))
+          .field("push_ms", ms)
+          .field("pushes_per_ns", res.pushes_per_ns);
+      j.print();
     }
     row.push_back(bench::fmt("%.1fx", std_ms / best_ms));
     t.row(std::move(row));
   }
+  std::printf("\n");
   t.print();
+  const std::string path = bench::emit_bench_json("fig7_push_sorting_gpu");
+  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
   return 0;
 }

@@ -179,6 +179,10 @@ void DistributedSimulation::exchange_exits(std::vector<ExitRecord>& exits) {
     };
     for (const auto& rec : from_prev) reinject(rec, 1);
     for (const auto& rec : from_next) reinject(rec, g.nz);
+    // Re-injected particles append out of cell order: age the species'
+    // sortedness hint so the run-aware push dispatch re-probes.
+    if (!from_prev.empty() || !from_next.empty())
+      species_[current_species_].mark_order_degraded();
   }
   if (comm_.allreduce(static_cast<std::int64_t>(exits.size()),
                       mpi::ReduceOp::Sum) != 0)

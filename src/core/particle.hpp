@@ -7,10 +7,13 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "core/grid.hpp"
 #include "pk/pk.hpp"
+#include "sort/runs.hpp"
 #include "sort/workspace.hpp"
 
 namespace vpic::core {
@@ -36,6 +39,31 @@ struct Species {
   // allocates nothing (see core/sort_particles.hpp, docs/SORTING.md).
   sort::SortWorkspace sort_ws;
   pk::View<Particle, 1> p_scratch;
+
+  // Sortedness tracking for the run-aware push fast path (docs/PUSH.md):
+  // sort_particles(Standard) marks the array cell-sorted; every push or
+  // exchange append degrades the order by the few particles that changed
+  // cell, tracked by steps_since_sort. advance_species dispatches its
+  // run-aware path off this hint plus a sampled run probe.
+  bool cell_sorted_hint = false;
+  int steps_since_sort = -1;  // -1: never cell-sorted
+  std::vector<sort::CellRun> push_runs;  // reused run-segmentation scratch
+
+  /// Called by sort_particles after a reorder: Standard order is the
+  /// cell-sorted order the run-aware push exploits; any other order
+  /// invalidates the hint.
+  void mark_sorted(bool cell_sorted) noexcept {
+    cell_sorted_hint = cell_sorted;
+    steps_since_sort = cell_sorted ? 0 : -1;
+  }
+
+  /// Called once per push / exchange append: ordering decays as particles
+  /// cross cells, so the dispatch heuristic ages the hint.
+  void mark_order_degraded() noexcept {
+    if (steps_since_sort >= 0 &&
+        steps_since_sort < std::numeric_limits<int>::max())
+      ++steps_since_sort;
+  }
 
   Species() = default;
   Species(std::string name_, float q_, float m_, index_t capacity)

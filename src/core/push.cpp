@@ -4,10 +4,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "core/move_p.hpp"
 #include "prof/prof.hpp"
 #include "simd/simd.hpp"
+#include "sort/runs.hpp"
 #include "v4/v4.hpp"
 
 namespace vpic::core {
@@ -82,6 +84,30 @@ inline void boris(float& ux, float& uy, float& uz, float hax, float hay,
   ux += hax;
   uy += hay;
   uz += haz;
+}
+
+/// Shared scalar push over [n0, n1): the remainder tail of the blocked
+/// Manual/AdHoc strategies (one implementation instead of two copies).
+/// Runs under its own prof region so summaries attribute tail work
+/// separately from the vector kernels.
+void push_scalar_range(Species& sp, const InterpolatorArray& interp,
+                       AccumulatorArray& acc, const Grid& g,
+                       const MoverOptions& opts, const PushConsts& c,
+                       index_t n0, index_t n1) {
+  if (n0 >= n1) return;
+  prof::ScopedRegion tail("push_scalar_tail");
+  auto& pp = sp.p;
+  for (index_t n = n0; n < n1; ++n) {
+    Particle& p = pp(n);
+    const Interpolator& ip = interp(p.i);
+    const FieldsAtPoint f = interpolate(ip, p.dx, p.dy, p.dz);
+    boris(p.ux, p.uy, p.uz, c.qdt2m * f.ex, c.qdt2m * f.ey, c.qdt2m * f.ez,
+          f.bx, f.by, f.bz, c.qdt2m);
+    const float rg =
+        1.0f / std::sqrt(1.0f + p.ux * p.ux + p.uy * p.uy + p.uz * p.uz);
+    finish_move(p, c.cdtdx2 * p.ux * rg, c.cdtdy2 * p.uy * rg,
+                c.cdtdz2 * p.uz * rg, c.qw_sign * p.w, acc, g, opts);
+  }
 }
 
 // ----------------------------------------------------------------------
@@ -242,18 +268,7 @@ void push_manual(Species& sp, const InterpolatorArray& interp,
     }
   });
 
-  // Scalar tail.
-  for (index_t n = nfull * W; n < sp.np; ++n) {
-    Particle& p = pp(n);
-    const Interpolator& ip = interp(p.i);
-    const FieldsAtPoint f = interpolate(ip, p.dx, p.dy, p.dz);
-    boris(p.ux, p.uy, p.uz, c.qdt2m * f.ex, c.qdt2m * f.ey, c.qdt2m * f.ez,
-          f.bx, f.by, f.bz, c.qdt2m);
-    const float rg =
-        1.0f / std::sqrt(1.0f + p.ux * p.ux + p.uy * p.uy + p.uz * p.uz);
-    finish_move(p, c.cdtdx2 * p.ux * rg, c.cdtdy2 * p.uy * rg,
-                c.cdtdz2 * p.uz * rg, c.qw_sign * p.w, acc, g, opts);
-  }
+  push_scalar_range(sp, interp, acc, g, opts, c, nfull * W, sp.np);
 }
 
 // ----------------------------------------------------------------------
@@ -337,39 +352,311 @@ void push_adhoc(Species& sp, const InterpolatorArray& interp,
     }
   });
 
-  for (index_t n = nfull * W; n < sp.np; ++n) {
+  push_scalar_range(sp, interp, acc, g, opts, c, nfull * W, sp.np);
+}
+
+// ======================================================================
+// Run-aware variants (docs/PUSH.md). The particle array is segmented into
+// maximal same-cell runs; each run
+//   * broadcasts its cell's 18-float interpolator record into registers
+//     once (replacing W x 14 per-lane gathers with 14 scalar loads), and
+//   * accumulates its current into a stack-local Accumulator with plain
+//     adds, deposited into the global array with ONE batch of 12 atomics
+//     per (run, home cell) instead of 12 per particle.
+// Particles whose displacement leaves the cell fall back to the exact
+// move_p path (atomic deposits per sub-segment), so physics is identical
+// to the generic strategies on any particle order.
+// ======================================================================
+
+/// Merge a run's local accumulation into the global record. Other runs
+/// (same cell appearing twice in unsorted input, or movers crossing in
+/// from neighbor runs) may target the same record concurrently, so the
+/// batch is atomic.
+inline void flush_run_accumulator(const Accumulator& local, Accumulator& g) {
+  for (int k = 0; k < 4; ++k) {
+    pk::atomic_add(&g.jx[k], local.jx[k]);
+    pk::atomic_add(&g.jy[k], local.jy[k]);
+    pk::atomic_add(&g.jz[k], local.jz[k]);
+  }
+}
+
+/// Complete a run particle's move: the (overwhelmingly common) stays-in-
+/// cell case deposits into the run-local accumulator with plain adds and
+/// never touches the grid walk; cell crossers take the generic
+/// finish_move/move_p path. The stay predicate and deposit reproduce
+/// move_p's f >= 1 branch exactly (same midpoint, same += update).
+inline void finish_move_run(Particle& p, float dispx, float dispy,
+                            float dispz, float qw, Accumulator& local,
+                            AccumulatorArray& acc, const Grid& g,
+                            const MoverOptions& opts) {
+  const float nx = p.dx + dispx;
+  const float ny = p.dy + dispy;
+  const float nz = p.dz + dispz;
+  if (nx <= 1.0f && nx >= -1.0f && ny <= 1.0f && ny >= -1.0f &&
+      nz <= 1.0f && nz >= -1.0f) {
+    accumulate_j(local, qw, p.dx + 0.5f * dispx, p.dy + 0.5f * dispy,
+                 p.dz + 0.5f * dispz, dispx, dispy, dispz,
+                 /*atomic=*/false);
+    p.dx = nx;
+    p.dy = ny;
+    p.dz = nz;
+    return;
+  }
+  finish_move(p, dispx, dispy, dispz, qw, acc, g, opts);
+}
+
+/// Scalar run body: push particles [n0, n1) of the run whose hoisted
+/// interpolator is `ip`. Shared by the Auto variant and by the ragged
+/// sub-W tails of the vectorized variants.
+inline void push_run_scalar(pk::View<Particle, 1>& pp, const Interpolator& ip,
+                            const PushConsts& c, index_t n0, index_t n1,
+                            Accumulator& local, AccumulatorArray& acc,
+                            const Grid& g, const MoverOptions& opts) {
+  for (index_t n = n0; n < n1; ++n) {
     Particle& p = pp(n);
-    const Interpolator& ip = interp(p.i);
     const FieldsAtPoint f = interpolate(ip, p.dx, p.dy, p.dz);
     boris(p.ux, p.uy, p.uz, c.qdt2m * f.ex, c.qdt2m * f.ey, c.qdt2m * f.ez,
           f.bx, f.by, f.bz, c.qdt2m);
     const float rg =
         1.0f / std::sqrt(1.0f + p.ux * p.ux + p.uy * p.uy + p.uz * p.uz);
-    finish_move(p, c.cdtdx2 * p.ux * rg, c.cdtdy2 * p.uy * rg,
-                c.cdtdz2 * p.uz * rg, c.qw_sign * p.w, acc, g, opts);
+    finish_move_run(p, c.cdtdx2 * p.ux * rg, c.cdtdy2 * p.uy * rg,
+                    c.cdtdz2 * p.uz * rg, c.qw_sign * p.w, local, acc, g,
+                    opts);
   }
+}
+
+void push_auto_runs(Species& sp, const InterpolatorArray& interp,
+                    AccumulatorArray& acc, const Grid& g,
+                    const MoverOptions& opts,
+                    const std::vector<sort::CellRun>& runs) {
+  const PushConsts c = make_consts(sp, g);
+  auto& pp = sp.p;
+  pk::parallel_for(
+      "advance_p[auto_runs]", static_cast<index_t>(runs.size()),
+      [&](index_t r) {
+        const sort::CellRun run = runs[static_cast<std::size_t>(r)];
+        const Interpolator ip = interp(run.cell);  // hoisted: once per run
+        Accumulator local{};
+        push_run_scalar(pp, ip, c, run.begin, run.begin + run.count, local,
+                        acc, g, opts);
+        flush_run_accumulator(local, acc.a(run.cell));
+      });
+}
+
+void push_guided_runs(Species& sp, const InterpolatorArray& interp,
+                      AccumulatorArray& acc, const Grid& g,
+                      const MoverOptions& opts,
+                      const std::vector<sort::CellRun>& runs) {
+  constexpr index_t kBlock = 256;
+  const PushConsts c = make_consts(sp, g);
+  auto& pp = sp.p;
+  pk::parallel_for(
+      "advance_p[guided_runs]", static_cast<index_t>(runs.size()),
+      [&](index_t r) {
+        const sort::CellRun run = runs[static_cast<std::size_t>(r)];
+        const Interpolator ip = interp(run.cell);
+        Accumulator local{};
+        float dispx[kBlock], dispy[kBlock], dispz[kBlock];
+        float nux[kBlock], nuy[kBlock], nuz[kBlock];
+        const index_t rend = run.begin + run.count;
+        for (index_t n0 = run.begin; n0 < rend; n0 += kBlock) {
+          const int cnt = static_cast<int>(std::min(rend - n0, kBlock));
+          PK_OMP_SIMD
+          for (int k = 0; k < cnt; ++k) {
+            const Particle& p = pp(n0 + k);
+            // Interpolation off broadcast scalars: the compiler hoists the
+            // 14 ip loads out of the simd loop — no per-lane gather.
+            const float ex = ip.ex + p.dy * ip.dexdy +
+                             p.dz * (ip.dexdz + p.dy * ip.d2exdydz);
+            const float ey = ip.ey + p.dz * ip.deydz +
+                             p.dx * (ip.deydx + p.dz * ip.d2eydzdx);
+            const float ez = ip.ez + p.dx * ip.dezdx +
+                             p.dy * (ip.dezdy + p.dx * ip.d2ezdxdy);
+            const float cbx = ip.cbx + p.dx * ip.dcbxdx;
+            const float cby = ip.cby + p.dy * ip.dcbydy;
+            const float cbz = ip.cbz + p.dz * ip.dcbzdz;
+            float ux = p.ux, uy = p.uy, uz = p.uz;
+            boris(ux, uy, uz, c.qdt2m * ex, c.qdt2m * ey, c.qdt2m * ez, cbx,
+                  cby, cbz, c.qdt2m);
+            const float rg =
+                1.0f / std::sqrt(1.0f + ux * ux + uy * uy + uz * uz);
+            nux[k] = ux;
+            nuy[k] = uy;
+            nuz[k] = uz;
+            dispx[k] = c.cdtdx2 * ux * rg;
+            dispy[k] = c.cdtdy2 * uy * rg;
+            dispz[k] = c.cdtdz2 * uz * rg;
+          }
+          for (int k = 0; k < cnt; ++k) {
+            Particle& p = pp(n0 + k);
+            p.ux = nux[k];
+            p.uy = nuy[k];
+            p.uz = nuz[k];
+            finish_move_run(p, dispx[k], dispy[k], dispz[k],
+                            c.qw_sign * p.w, local, acc, g, opts);
+          }
+        }
+        flush_run_accumulator(local, acc.a(run.cell));
+      });
+}
+
+void push_manual_runs(Species& sp, const InterpolatorArray& interp,
+                      AccumulatorArray& acc, const Grid& g,
+                      const MoverOptions& opts,
+                      const std::vector<sort::CellRun>& runs) {
+  constexpr int W = 8;
+  using F = simd::simd<float, W>;
+  const PushConsts c = make_consts(sp, g);
+  auto& pp = sp.p;
+  pk::parallel_for(
+      "advance_p[manual_runs]", static_cast<index_t>(runs.size()),
+      [&](index_t r) {
+        const sort::CellRun run = runs[static_cast<std::size_t>(r)];
+        const Interpolator ip = interp(run.cell);
+        Accumulator local{};
+        const index_t rend = run.begin + run.count;
+        const index_t nfull = run.begin + (run.count / W) * W;
+        for (index_t n0 = run.begin; n0 < nfull; n0 += W) {
+          auto rows = simd::load_transpose<float, W>(
+              reinterpret_cast<const float*>(&pp(n0)), 8);
+          F dx = rows[0], dy = rows[1], dz = rows[2];
+          F ux = rows[4], uy = rows[5], uz = rows[6];
+          // Broadcast the hoisted interpolator: 14 scalar-load broadcasts
+          // replacing the generic path's W x 14 indexed gathers.
+          const F ex = F(ip.ex) + dy * F(ip.dexdy) +
+                       dz * (F(ip.dexdz) + dy * F(ip.d2exdydz));
+          const F ey = F(ip.ey) + dz * F(ip.deydz) +
+                       dx * (F(ip.deydx) + dz * F(ip.d2eydzdx));
+          const F ez = F(ip.ez) + dx * F(ip.dezdx) +
+                       dy * (F(ip.dezdy) + dx * F(ip.d2ezdxdy));
+          const F cbx = F(ip.cbx) + dx * F(ip.dcbxdx);
+          const F cby = F(ip.cby) + dy * F(ip.dcbydy);
+          const F cbz = F(ip.cbz) + dz * F(ip.dcbzdz);
+
+          const F qdt2m(c.qdt2m);
+          const F hax = qdt2m * ex, hay = qdt2m * ey, haz = qdt2m * ez;
+          ux += hax;
+          uy += hay;
+          uz += haz;
+          const F one(1.0f);
+          const F gmi = simd::rsqrt(one + ux * ux + uy * uy + uz * uz);
+          const F tx = qdt2m * cbx * gmi;
+          const F ty = qdt2m * cby * gmi;
+          const F tz = qdt2m * cbz * gmi;
+          const F sfac = F(2.0f) / (one + tx * tx + ty * ty + tz * tz);
+          const F wx = ux + (uy * tz - uz * ty);
+          const F wy = uy + (uz * tx - ux * tz);
+          const F wz = uz + (ux * ty - uy * tx);
+          ux += (wy * tz - wz * ty) * sfac + hax;
+          uy += (wz * tx - wx * tz) * sfac + hay;
+          uz += (wx * ty - wy * tx) * sfac + haz;
+
+          const F rg = simd::rsqrt(one + ux * ux + uy * uy + uz * uz);
+          const F dispx = F(c.cdtdx2) * ux * rg;
+          const F dispy = F(c.cdtdy2) * uy * rg;
+          const F dispz = F(c.cdtdz2) * uz * rg;
+
+          for (int l = 0; l < W; ++l) {
+            Particle& p = pp(n0 + l);
+            p.ux = ux[l];
+            p.uy = uy[l];
+            p.uz = uz[l];
+            finish_move_run(p, dispx[l], dispy[l], dispz[l],
+                            c.qw_sign * p.w, local, acc, g, opts);
+          }
+        }
+        // Ragged sub-W tail of the run.
+        push_run_scalar(pp, ip, c, nfull, rend, local, acc, g, opts);
+        flush_run_accumulator(local, acc.a(run.cell));
+      });
 }
 
 }  // namespace
 
-void advance_species(Species& sp, const InterpolatorArray& interp,
-                     AccumulatorArray& acc, const Grid& g,
-                     VectorStrategy strategy, const MoverOptions& opts) {
+bool run_aware_profitable(const Species& sp) {
+  // Tunables (docs/PUSH.md): below kMinParticles the per-run overhead and
+  // segmentation pass dominate; beyond kMaxStale steps since the last
+  // cell sort the probe is not worth running every step; the probe gates
+  // on the estimated mean run length covering the per-run overhead
+  // (hoisted 18-float load + 12-atomic flush amortized over >= ~4
+  // particles).
+  constexpr index_t kMinParticles = 512;
+  constexpr int kMaxStale = 64;
+  constexpr double kMinMeanRun = 4.0;
+  if (sp.np < kMinParticles) return false;
+  if (!sp.cell_sorted_hint || sp.steps_since_sort < 0) return false;
+  if (sp.steps_since_sort == 0) return true;  // fresh from sort_particles
+  if (sp.steps_since_sort > kMaxStale) return false;
+  const auto& pp = sp.p;
+  const auto probe =
+      sort::probe_runs(sp.np, [&pp](index_t i) { return pp(i).i; });
+  return probe.mean_run_estimate() >= kMinMeanRun;
+}
+
+PushPath advance_species(Species& sp, const InterpolatorArray& interp,
+                         AccumulatorArray& acc, const Grid& g,
+                         VectorStrategy strategy, const MoverOptions& opts,
+                         PushPath path) {
   prof::ScopedRegion region("advance_species");
-  switch (strategy) {
-    case VectorStrategy::Auto:
-      push_auto(sp, interp, acc, g, opts);
+  if (opts.exits != nullptr && opts.exits_mutex == nullptr &&
+      pk::DefaultExecSpace::concurrency() > 1)
+    throw std::logic_error(
+        "advance_species: opts.exits requires opts.exits_mutex when the "
+        "default execution space is concurrent (unlocked push_back from "
+        "parallel mover lanes is a data race)");
+
+  bool use_runs = false;
+  switch (path) {
+    case PushPath::Generic:
       break;
-    case VectorStrategy::Guided:
-      push_guided(sp, interp, acc, g, opts);
+    case PushPath::RunAware:
+      use_runs = strategy != VectorStrategy::AdHoc;  // AdHoc has no variant
       break;
-    case VectorStrategy::Manual:
-      push_manual(sp, interp, acc, g, opts);
-      break;
-    case VectorStrategy::AdHoc:
-      push_adhoc(sp, interp, acc, g, opts);
+    case PushPath::AutoDetect:
+      use_runs =
+          strategy != VectorStrategy::AdHoc && run_aware_profitable(sp);
       break;
   }
+
+  if (use_runs) {
+    {
+      prof::ScopedRegion seg("segment_runs");
+      const auto& pp = sp.p;
+      sort::segment_runs(sp.np, [&pp](index_t i) { return pp(i).i; },
+                         sp.push_runs);
+    }
+    switch (strategy) {
+      case VectorStrategy::Auto:
+        push_auto_runs(sp, interp, acc, g, opts, sp.push_runs);
+        break;
+      case VectorStrategy::Guided:
+        push_guided_runs(sp, interp, acc, g, opts, sp.push_runs);
+        break;
+      case VectorStrategy::Manual:
+        push_manual_runs(sp, interp, acc, g, opts, sp.push_runs);
+        break;
+      case VectorStrategy::AdHoc:
+        break;  // unreachable: filtered above
+    }
+  } else {
+    switch (strategy) {
+      case VectorStrategy::Auto:
+        push_auto(sp, interp, acc, g, opts);
+        break;
+      case VectorStrategy::Guided:
+        push_guided(sp, interp, acc, g, opts);
+        break;
+      case VectorStrategy::Manual:
+        push_manual(sp, interp, acc, g, opts);
+        break;
+      case VectorStrategy::AdHoc:
+        push_adhoc(sp, interp, acc, g, opts);
+        break;
+    }
+  }
+  // Pushing moves particles across cells: age the sortedness hint.
+  sp.mark_order_degraded();
+  return use_runs ? PushPath::RunAware : PushPath::Generic;
 }
 
 index_t compact_exited(Species& sp) {

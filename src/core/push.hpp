@@ -18,6 +18,17 @@
 //
 // All four produce the same physics (bitwise for Auto vs Guided up to
 // fp-contraction; within a few ulp for Manual/AdHoc, which reassociate).
+//
+// On cell-sorted particles (Standard order) the Auto/Guided/Manual
+// strategies additionally have *run-aware* variants (docs/PUSH.md): the
+// array is segmented into maximal same-cell runs (sort/runs.hpp), each
+// run broadcasts its cell's interpolator record once instead of gathering
+// it per lane, and accumulates its current into a stack-local record that
+// is deposited with one batch of atomics per run instead of twelve per
+// particle. Cell-crossing particles fall back to the exact move_p path,
+// so the run-aware variants are correct on any particle order and merely
+// fast on sorted ones. advance_species auto-dispatches using the species'
+// sortedness tracking plus a sampled run probe.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +58,28 @@ inline const char* to_string(VectorStrategy s) noexcept {
   return "?";
 }
 
+/// Which push pipeline advance_species runs.
+///   AutoDetect — run-aware when the species' sortedness tracking and the
+///                sampled run probe say cell runs are long enough to pay
+///                for the per-run overhead; generic otherwise.
+///   Generic    — always the per-particle strategy kernels (the paper's
+///                Fig. 4 baselines).
+///   RunAware   — force the run-aware variant (AdHoc has none and stays
+///                generic). Correct on any order; fast on sorted input.
+enum class PushPath : std::uint8_t { AutoDetect, Generic, RunAware };
+
+inline const char* to_string(PushPath p) noexcept {
+  switch (p) {
+    case PushPath::AutoDetect:
+      return "auto-detect";
+    case PushPath::Generic:
+      return "generic";
+    case PushPath::RunAware:
+      return "run-aware";
+  }
+  return "?";
+}
+
 /// A particle that crossed a non-periodic domain face mid-move: shipped to
 /// the neighbor rank together with its unfinished displacement (VPIC's
 /// mover record).
@@ -68,10 +101,24 @@ struct MoverOptions {
 /// the multi-rank driver passes a mask and an exit queue, and exited
 /// particles are removed from `sp` (their slot is marked with i = -1 and
 /// compacted by compact_exited()).
-void advance_species(Species& sp, const InterpolatorArray& interp,
-                     AccumulatorArray& acc, const Grid& g,
-                     VectorStrategy strategy,
-                     const MoverOptions& opts = {});
+///
+/// `path` selects the pipeline (see PushPath); the return value is the
+/// pipeline actually taken (Generic or RunAware), which AutoDetect
+/// resolves per call from the species' sortedness state.
+///
+/// Throws std::logic_error when opts.exits is set without opts.exits_mutex
+/// while the default execution space is concurrent: the unlocked
+/// push_back from parallel mover lanes would be a data race.
+PushPath advance_species(Species& sp, const InterpolatorArray& interp,
+                         AccumulatorArray& acc, const Grid& g,
+                         VectorStrategy strategy,
+                         const MoverOptions& opts = {},
+                         PushPath path = PushPath::AutoDetect);
+
+/// The AutoDetect heuristic, exposed for tests and benches: true when the
+/// species' sortedness tracking (fresh or recently-stale cell-sorted hint)
+/// plus a sampled run probe predict the run-aware path will pay off.
+[[nodiscard]] bool run_aware_profitable(const Species& sp);
 
 /// Remove particles marked exited (i < 0), preserving order of survivors.
 /// Returns the number removed.

@@ -56,8 +56,11 @@ void Simulation::step() {
     // profiling off; with it on, the same interval is the "step/push"
     // region (with the per-strategy kernels as children).
     prof::ScopedRegion r("push", &push_seconds_);
-    for (auto& sp : species_)
-      advance_species(sp, interp_, acc_, fields_.grid, cfg_.strategy);
+    last_push_paths_.resize(species_.size());
+    for (std::size_t s = 0; s < species_.size(); ++s)
+      last_push_paths_[s] =
+          advance_species(species_[s], interp_, acc_, fields_.grid,
+                          cfg_.strategy, {}, cfg_.push_path);
   }
 
   {

@@ -32,6 +32,10 @@ namespace vpic::core {
 struct SimulationConfig {
   Grid grid;
   VectorStrategy strategy = VectorStrategy::Auto;
+  // Push pipeline: AutoDetect engages the run-aware fast path while the
+  // particle array is (still) cell-sorted; Generic pins the per-particle
+  // kernels; RunAware forces the fast path (docs/PUSH.md).
+  PushPath push_path = PushPath::AutoDetect;
   sort::SortOrder sort_order = sort::SortOrder::Standard;
   int sort_interval = 20;      // 0 disables sorting
   std::uint32_t sort_tile = 0; // tiled-strided tile size (0: pick default)
@@ -91,6 +95,13 @@ class Simulation {
   [[nodiscard]] std::int64_t step_count() const { return step_count_; }
   SimulationConfig& config() { return cfg_; }
 
+  /// Push pipeline taken for each species on the most recent step()
+  /// (Generic or RunAware) — how AutoDetect resolved; empty before the
+  /// first step.
+  [[nodiscard]] const std::vector<PushPath>& last_push_paths() const {
+    return last_push_paths_;
+  }
+
   /// Time spent in advance_species since construction (seconds) — the
   /// "particle push" runtime metric of the paper's Figs. 4/7.
   ///
@@ -132,6 +143,7 @@ class Simulation {
   InterpolatorArray interp_;
   AccumulatorArray acc_;
   std::vector<Species> species_;
+  std::vector<PushPath> last_push_paths_;
   std::function<void(Simulation&)> injection_hook_;
   EnergyHistory energy_history_;
   std::int64_t step_count_ = 0;

@@ -39,6 +39,10 @@ inline void sort_particles(Species& sp, sort::SortOrder order,
                            std::uint64_t seed = 9001,
                            index_t key_bound = 0) {
   const index_t n = sp.np;
+  // Sortedness tracking for the run-aware push (docs/PUSH.md): Standard
+  // order is exactly the cell-sorted order the fast path exploits; any
+  // other order invalidates the hint.
+  sp.mark_sorted(order == sort::SortOrder::Standard);
   if (n <= 1) return;
   prof::ScopedRegion region("sort_particles");
   sort::SortWorkspace& ws = sp.sort_ws;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "gpusim/coalescing.hpp"
+#include "sort/runs.hpp"
 
 namespace vpic::gpusim {
 
@@ -16,6 +17,23 @@ PushResult model_push(const DeviceSpec& dev,
   const std::uint64_t n = cells.size();
   if (n == 0) return r;
 
+  // Same-cell run compression (the same segmentation the CPU engine's
+  // run-aware push performs, sort/runs.hpp). Under run_aware the indexed
+  // gather/scatter streams see one access per run; otherwise the run
+  // count is still reported so harnesses can relate order to run length.
+  std::vector<std::uint32_t> run_cells;
+  run_cells.reserve(cells.size() / 4 + 1);
+  sort::for_each_run(
+      static_cast<pk::index_t>(n),
+      [&cells](pk::index_t i) { return cells[static_cast<std::size_t>(i)]; },
+      [&run_cells](std::uint32_t cell, pk::index_t, pk::index_t) {
+        run_cells.push_back(cell);
+      });
+  r.runs = run_cells.size();
+  const std::vector<std::uint32_t>& idx =
+      params.run_aware ? run_cells : cells;
+  const std::uint64_t n_idx = idx.size();
+
   // The LLC competes for grid-point state beyond the two records the model
   // walks explicitly (field array, cell metadata). Shrink the modeled
   // capacity by that ratio so capacity effects appear at the right grid
@@ -27,18 +45,20 @@ PushResult model_push(const DeviceSpec& dev,
       static_cast<std::uint64_t>(dev.llc_bytes() * capacity_scale),
       dev.line_bytes, 16);
 
-  // Field gather: interpolator records indexed by cell. Base address 0.
+  // Field gather: interpolator records indexed by cell (one per run under
+  // run_aware). Base address 0.
   const StreamStats gather = analyze_stream(
-      cells.data(), n, params.interp_stride, dev, &cache,
+      idx.data(), n_idx, params.interp_stride, dev, &cache,
       /*atomics=*/false, /*base_addr=*/0, params.atomic_window,
       params.interp_record);
 
-  // Current scatter: accumulator records, atomic RMW. Placed after the
-  // interpolator region so the two arrays contend for cache honestly.
+  // Current scatter: accumulator records, atomic RMW — one batched flush
+  // per run under run_aware. Placed after the interpolator region so the
+  // two arrays contend for cache honestly.
   const std::uint64_t accum_base =
       grid_points * static_cast<std::uint64_t>(params.interp_stride);
   const StreamStats scatter = analyze_stream(
-      cells.data(), n, params.accum_stride, dev, &cache,
+      idx.data(), n_idx, params.accum_stride, dev, &cache,
       /*atomics=*/true, accum_base, params.atomic_window,
       params.accum_record);
 
@@ -63,9 +83,9 @@ PushResult model_push(const DeviceSpec& dev,
       gather.warps + scatter.warps + pread.warps + pwrite.warps;
   p.atomic_serial = scatter.atomic_conflicts + scatter.window_conflicts;
   p.logical_bytes =
-      n * static_cast<std::uint64_t>(2 * params.particle_bytes +
-                                     params.interp_record +
-                                     2 * params.accum_record);
+      n * static_cast<std::uint64_t>(2 * params.particle_bytes) +
+      n_idx * static_cast<std::uint64_t>(params.interp_record +
+                                         2 * params.accum_record);
 
   r.profile = p;
   r.timing = time_kernel(dev, p);

@@ -43,6 +43,12 @@ struct PushModelParams {
   double flops_per_particle = 250;
   double grid_bytes_per_point = 800;  // effective hot bytes per grid point
   int atomic_window = 2048;           // cross-warp atomic pipeline window
+  // Model the run-aware push pipeline (docs/PUSH.md): the interpolator
+  // gather and the accumulator scatter are issued once per same-cell
+  // *run* of the cell sequence (the CPU engine's hoist/batch, or a
+  // block-shared gather with a local reduction on a real GPU) instead of
+  // once per particle. Arithmetic and particle streaming are unchanged.
+  bool run_aware = false;
 };
 
 struct PushResult {
@@ -51,6 +57,7 @@ struct PushResult {
   double pushes_per_ns = 0;
   std::uint64_t particles = 0;
   std::uint64_t grid_points = 0;
+  std::uint64_t runs = 0;  // same-cell runs in the cell sequence
 };
 
 /// Model one particle-push pass over `cells` (cells[i] = cell index of the

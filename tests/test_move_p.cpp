@@ -1,0 +1,210 @@
+// Directed move_p boundary/crossing tests and compact_exited coverage:
+// reflecting walls (momentum flip + bounce), multi-face crossings with
+// exact per-axis charge-flux accounting, exit-mode bookkeeping (ghost
+// cell, deposited vs remaining displacement split), and the exited-slot
+// compaction used by the rank-exchange path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/core.hpp"
+
+namespace core = vpic::core;
+namespace pk = vpic::pk;
+using pk::index_t;
+
+namespace {
+
+double jx_sum(const core::AccumulatorArray& acc) {
+  double s = 0;
+  for (index_t v = 0; v < acc.a.size(); ++v)
+    for (int c = 0; c < 4; ++c) s += acc.a(v).jx[c];
+  return s;
+}
+
+double jy_sum(const core::AccumulatorArray& acc) {
+  double s = 0;
+  for (index_t v = 0; v < acc.a.size(); ++v)
+    for (int c = 0; c < 4; ++c) s += acc.a(v).jy[c];
+  return s;
+}
+
+double jz_sum(const core::AccumulatorArray& acc) {
+  double s = 0;
+  for (index_t v = 0; v < acc.a.size(); ++v)
+    for (int c = 0; c < 4; ++c) s += acc.a(v).jz[c];
+  return s;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// Reflecting boundaries.
+// ----------------------------------------------------------------------
+
+TEST(MovePReflect, BouncesOffLowXWallAndFlipsMomentum) {
+  const core::Grid g(4, 4, 4, 4, 4, 4, 0.1f);
+  core::AccumulatorArray acc(g);
+  acc.clear();
+
+  core::Particle p{};
+  p.dx = -0.5f;
+  p.dy = 0.1f;
+  p.dz = -0.2f;
+  p.i = static_cast<std::int32_t>(g.voxel(1, 2, 2));
+  p.ux = 0.3f;
+  p.uy = 0.05f;
+  p.uz = -0.1f;
+
+  // Crosses the low x domain face at f = 0.625; the wall reverses the
+  // remaining -0.3 of displacement and the normal momentum.
+  const auto r = core::move_p(p, -0.8f, 0.0f, 0.0f, 1.0f, acc, g,
+                              /*periodic_mask=*/0b111, nullptr,
+                              /*reflect_mask=*/0b001);
+  EXPECT_EQ(r, core::MoveResult::Stayed);
+  EXPECT_EQ(p.i, static_cast<std::int32_t>(g.voxel(1, 2, 2)));
+  EXPECT_NEAR(p.dx, -0.7f, 1e-6);
+  EXPECT_NEAR(p.dy, 0.1f, 1e-6);
+  EXPECT_NEAR(p.dz, -0.2f, 1e-6);
+  EXPECT_NEAR(p.ux, -0.3f, 1e-6);  // normal momentum flipped
+  EXPECT_NEAR(p.uy, 0.05f, 1e-6);
+  EXPECT_NEAR(p.uz, -0.1f, 1e-6);
+  // Net deposited x flux is the net x motion: -0.5 down then +0.3 back.
+  EXPECT_NEAR(jx_sum(acc), 4.0 * (-0.2), 1e-5);
+}
+
+TEST(MovePReflect, BounceOffHighZWallInThinSlab) {
+  // A displacement long enough to hit the high-z wall, bounce, and remain
+  // inside: the guard loop must handle the post-bounce segment.
+  const core::Grid g(4, 4, 1, 4, 4, 1, 0.05f);
+  core::AccumulatorArray acc(g);
+  acc.clear();
+
+  core::Particle p{};
+  p.dz = 0.5f;
+  p.i = static_cast<std::int32_t>(g.voxel(2, 2, 1));
+  p.uz = 1.0f;
+  const auto r = core::move_p(p, 0.0f, 0.0f, 0.9f, 1.0f, acc, g, 0b111,
+                              nullptr, /*reflect_mask=*/0b100);
+  EXPECT_EQ(r, core::MoveResult::Stayed);
+  EXPECT_EQ(p.i, static_cast<std::int32_t>(g.voxel(2, 2, 1)));
+  // 0.5 up to the wall, 0.4 reflected back: ends at 1.0 - 0.4 = 0.6.
+  EXPECT_NEAR(p.dz, 0.6f, 1e-6);
+  EXPECT_LT(p.uz, 0.0f);
+  EXPECT_NEAR(jz_sum(acc), 4.0 * 0.1, 1e-5);  // net z motion 0.5 - 0.4
+}
+
+// ----------------------------------------------------------------------
+// Multi-face crossings.
+// ----------------------------------------------------------------------
+
+TEST(MovePCrossing, DiagonalDoubleCrossingLandsInDiagonalNeighbor) {
+  const core::Grid g(4, 4, 4, 4, 4, 4, 0.1f);
+  core::AccumulatorArray acc(g);
+  acc.clear();
+
+  core::Particle p{};
+  p.dx = 0.9f;
+  p.dy = 0.9f;
+  p.i = static_cast<std::int32_t>(g.voxel(2, 2, 2));
+  // Crosses the +x face, then the +y face: three deposited segments.
+  const auto r = core::move_p(p, 0.8f, 0.8f, 0.0f, 1.0f, acc, g);
+  EXPECT_EQ(r, core::MoveResult::Stayed);
+  EXPECT_EQ(p.i, static_cast<std::int32_t>(g.voxel(3, 3, 2)));
+  EXPECT_NEAR(p.dx, -0.3f, 1e-5);
+  EXPECT_NEAR(p.dy, -0.3f, 1e-5);
+  // Flux conservation per axis across the split segments.
+  EXPECT_NEAR(jx_sum(acc), 4.0 * 0.8, 1e-5);
+  EXPECT_NEAR(jy_sum(acc), 4.0 * 0.8, 1e-5);
+  EXPECT_NEAR(jz_sum(acc), 0.0, 1e-6);
+}
+
+TEST(MovePCrossing, PeriodicWrapReportsWrapped) {
+  const core::Grid g(4, 4, 4, 4, 4, 4, 0.1f);
+  core::AccumulatorArray acc(g);
+  acc.clear();
+
+  core::Particle p{};
+  p.dx = 0.9f;
+  p.i = static_cast<std::int32_t>(g.voxel(4, 2, 2));  // high-x boundary cell
+  const auto r = core::move_p(p, 0.4f, 0.0f, 0.0f, 1.0f, acc, g);
+  EXPECT_EQ(r, core::MoveResult::Wrapped);
+  EXPECT_EQ(p.i, static_cast<std::int32_t>(g.voxel(1, 2, 2)));
+  EXPECT_NEAR(p.dx, -0.7f, 1e-5);
+  EXPECT_NEAR(jx_sum(acc), 4.0 * 0.4, 1e-5);
+}
+
+// ----------------------------------------------------------------------
+// Exit mode (rank-decomposed z axis).
+// ----------------------------------------------------------------------
+
+TEST(MovePExit, SplitsDisplacementBetweenDepositAndRemaining) {
+  const core::Grid g(4, 4, 4, 4, 4, 4, 0.1f);
+  core::AccumulatorArray acc(g);
+  acc.clear();
+
+  core::Particle p{};
+  p.dx = 0.2f;
+  p.dz = 0.5f;
+  p.i = static_cast<std::int32_t>(g.voxel(2, 3, 4));  // top z plane
+  float rem[3] = {-1, -1, -1};
+  // Crosses the top z face at f = 0.625 with x motion riding along.
+  const auto r = core::move_p(p, 0.16f, 0.0f, 0.8f, 1.0f, acc, g,
+                              /*periodic_mask=*/0b011, rem);
+  EXPECT_EQ(r, core::MoveResult::Exited);
+
+  int ix, iy, iz;
+  g.cell_of(p.i, ix, iy, iz);
+  EXPECT_EQ(ix, 2);
+  EXPECT_EQ(iy, 3);
+  EXPECT_EQ(iz, g.nz + 1);  // parked in the ghost cell it crossed into
+  EXPECT_NEAR(p.dz, -1.0f, 1e-6);  // entering from the far face
+
+  // Unfinished displacement: (1 - f) of each component.
+  EXPECT_NEAR(rem[0], 0.06f, 1e-6);
+  EXPECT_NEAR(rem[1], 0.0f, 1e-6);
+  EXPECT_NEAR(rem[2], 0.3f, 1e-6);
+  // Deposited portion: f of each component.
+  EXPECT_NEAR(jx_sum(acc), 4.0 * 0.10, 1e-5);
+  EXPECT_NEAR(jz_sum(acc), 4.0 * 0.50, 1e-5);
+}
+
+// ----------------------------------------------------------------------
+// compact_exited.
+// ----------------------------------------------------------------------
+
+TEST(CompactExited, RemovesTombstonesPreservingSurvivorOrder) {
+  core::Species sp("e", -1.0f, 1.0f, 16);
+  for (int k = 0; k < 10; ++k) {
+    core::Particle p{};
+    p.i = 100 + k;
+    p.ux = static_cast<float>(k);  // identity tag
+    sp.p(sp.np++) = p;
+  }
+  for (int k : {2, 5, 9}) sp.p(k).i = -1;
+
+  const index_t removed = core::compact_exited(sp);
+  EXPECT_EQ(removed, 3);
+  EXPECT_EQ(sp.np, 7);
+  const int expect_tags[] = {0, 1, 3, 4, 6, 7, 8};
+  for (int k = 0; k < 7; ++k) {
+    EXPECT_EQ(sp.p(k).ux, static_cast<float>(expect_tags[k])) << k;
+    EXPECT_EQ(sp.p(k).i, 100 + expect_tags[k]) << k;
+  }
+}
+
+TEST(CompactExited, AllAndNoneExitedEdgeCases) {
+  core::Species sp("e", -1.0f, 1.0f, 8);
+  for (int k = 0; k < 5; ++k) {
+    core::Particle p{};
+    p.i = k;
+    sp.p(sp.np++) = p;
+  }
+  EXPECT_EQ(core::compact_exited(sp), 0);  // none exited
+  EXPECT_EQ(sp.np, 5);
+
+  for (int k = 0; k < 5; ++k) sp.p(k).i = -1;
+  EXPECT_EQ(core::compact_exited(sp), 5);  // all exited
+  EXPECT_EQ(sp.np, 0);
+  EXPECT_EQ(core::compact_exited(sp), 0);  // empty species
+}
