@@ -4,6 +4,7 @@
 
 #include "core/move_p.hpp"
 #include "core/rng.hpp"
+#include "prof/prof.hpp"
 
 namespace vpic::core {
 
@@ -90,20 +91,40 @@ void DistributedSimulation::load_uniform_plasma(std::size_t species_idx,
   sp.np = n;
 }
 
-void DistributedSimulation::exchange_field_ghosts() {
+DistributedSimulation::FieldHalo DistributedSimulation::begin_field_halo() {
   fields_.update_ghosts_periodic(0b011);  // x, y periodic locally
   const std::size_t nf = fields_.plane_floats();
-  std::vector<float> up(nf), down(nf), from_prev(nf), from_next(nf);
-  fields_.pack_z_plane(fields_.grid.nz, up.data());  // -> next's ghost 0
-  fields_.pack_z_plane(1, down.data());              // -> prev's ghost nz+1
-  auto r0 = comm_.irecv(prev_, kTagFieldUp, std::span<float>(from_prev));
-  auto r1 = comm_.irecv(next_, kTagFieldDown, std::span<float>(from_next));
-  comm_.isend(next_, kTagFieldUp, std::span<const float>(up));
-  comm_.isend(prev_, kTagFieldDown, std::span<const float>(down));
-  r0.wait();
-  r1.wait();
-  fields_.unpack_z_plane(0, from_prev.data());
-  fields_.unpack_z_plane(fields_.grid.nz + 1, from_next.data());
+  FieldHalo h;
+  h.up.resize(nf);
+  h.down.resize(nf);
+  h.from_prev.resize(nf);
+  h.from_next.resize(nf);
+  fields_.pack_z_plane(fields_.grid.nz, h.up.data());  // -> next's ghost 0
+  fields_.pack_z_plane(1, h.down.data());  // -> prev's ghost nz+1
+  h.recvs[0] = comm_.irecv(prev_, kTagFieldUp, std::span<float>(h.from_prev));
+  h.recvs[1] =
+      comm_.irecv(next_, kTagFieldDown, std::span<float>(h.from_next));
+  comm_.isend(next_, kTagFieldUp, std::span<const float>(h.up));
+  comm_.isend(prev_, kTagFieldDown, std::span<const float>(h.down));
+  return h;
+}
+
+void DistributedSimulation::complete_field_halo(FieldHalo& h) {
+  // Drain both receives through the polling interface (wait_any) rather
+  // than blocking wait(): requests complete in whichever order the
+  // messages land.
+  std::vector<mpi::Request> pending(h.recvs.begin(), h.recvs.end());
+  while (!pending.empty()) {
+    const std::size_t i = mpi::wait_any(std::span<mpi::Request>(pending));
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  fields_.unpack_z_plane(0, h.from_prev.data());
+  fields_.unpack_z_plane(fields_.grid.nz + 1, h.from_next.data());
+}
+
+void DistributedSimulation::exchange_field_ghosts() {
+  FieldHalo h = begin_field_halo();
+  complete_field_halo(h);
 }
 
 void DistributedSimulation::exchange_exits(std::vector<ExitRecord>& exits) {
@@ -190,6 +211,18 @@ void DistributedSimulation::exchange_exits(std::vector<ExitRecord>& exits) {
 }
 
 void DistributedSimulation::step() {
+  if (overlap_active()) {
+    step_overlapped();
+  } else {
+    step_fenced();
+  }
+  ++step_count_;
+}
+
+// The reference schedule: every exchange fully fenced before the compute
+// that depends on it (and, conservatively, compute that does not).
+void DistributedSimulation::step_fenced() {
+  prof::ScopedRegion step_region("step");
   exchange_field_ghosts();
   interp_.load(fields_);
   acc_.clear();
@@ -208,6 +241,89 @@ void DistributedSimulation::step() {
     exchange_exits(exits);
   }
 
+  finish_accumulate_and_fields();
+}
+
+// Overlapped schedule (docs/ASYNC.md): the leading z-halo exchange is in
+// flight while everything halo-independent runs. The interpolator stencil
+// for plane iz reads field planes iz and iz+1 only, so planes 1..nz-1
+// never touch the z ghosts; cells of those planes hold the "interior"
+// particles, whose push therefore cannot read stale halo data. Only the
+// plane-nz interpolator load and the push of plane-nz particles wait for
+// the halo. Deposit ordering differs from the fenced path (interior runs
+// before boundary runs instead of array order), so results match to
+// fp-reordering, not bitwise — test_domain's tolerances.
+void DistributedSimulation::step_overlapped() {
+  prof::ScopedRegion step_region("step");
+  const Grid& g = fields_.grid;
+
+  FieldHalo halo = begin_field_halo();
+
+  {
+    prof::ScopedRegion r("overlap_window");
+    interp_.load_planes(fields_, 1, g.nz - 1);
+    acc_.clear();
+  }
+
+  // Partition each species' maximal same-cell runs at the boundary plane:
+  // voxel = (iz*sy + iy)*sx + ix is monotone in iz, so cells of plane nz
+  // are exactly the voxels >= voxel(0, 0, nz). Runs are correct on any
+  // particle order (unsorted arrays just degrade to length-1 runs), so
+  // the split needs no preceding sort.
+  const index_t boundary_begin = g.voxel(0, 0, g.nz);
+  std::vector<std::vector<ExitRecord>> exits(species_.size());
+  std::vector<std::vector<sort::CellRun>> boundary_runs(species_.size());
+  std::mutex exits_mutex;
+  {
+    prof::ScopedRegion r("interior_push");
+    for (std::size_t s = 0; s < species_.size(); ++s) {
+      Species& sp = species_[s];
+      {
+        prof::ScopedRegion seg("segment_runs");
+        const auto& pp = sp.p;
+        sort::segment_runs(sp.np, [&pp](index_t i) { return pp(i).i; },
+                           sp.push_runs);
+      }
+      std::vector<sort::CellRun> interior;
+      interior.reserve(sp.push_runs.size());
+      for (const auto& run : sp.push_runs)
+        (run.cell >= boundary_begin ? boundary_runs[s] : interior)
+            .push_back(run);
+      MoverOptions opts;
+      opts.periodic_mask = 0b011;
+      opts.exits = &exits[s];
+      opts.exits_mutex = &exits_mutex;
+      advance_species_runs(sp, interp_, acc_, g, cfg_.strategy, opts,
+                           interior);
+    }
+  }
+
+  complete_field_halo(halo);
+  interp_.load_planes(fields_, g.nz, g.nz);
+
+  for (std::size_t s = 0; s < species_.size(); ++s) {
+    Species& sp = species_[s];
+    current_species_ = s;
+    MoverOptions opts;
+    opts.periodic_mask = 0b011;
+    opts.exits = &exits[s];
+    opts.exits_mutex = &exits_mutex;
+    {
+      prof::ScopedRegion r("boundary_push");
+      advance_species_runs(sp, interp_, acc_, g, cfg_.strategy, opts,
+                           boundary_runs[s]);
+    }
+    sp.mark_order_degraded();  // once per step, as advance_species does
+    compact_exited(sp);
+    exchange_exits(exits[s]);
+  }
+
+  finish_accumulate_and_fields();
+}
+
+// Shared tail of both schedules: accumulator boundary-plane exchange +
+// unload, then the FDTD advance with halo refresh after each sub-step.
+void DistributedSimulation::finish_accumulate_and_fields() {
   acc_.reduce_ghosts_periodic();
   // Boundary edges at plane 1 need the previous rank's plane-nz deposits.
   {
@@ -227,8 +343,6 @@ void DistributedSimulation::step() {
   exchange_field_ghosts();
   fields_.advance_b_half();
   // (next step's leading exchange_field_ghosts refreshes the halos)
-
-  ++step_count_;
 }
 
 DistributedEnergy DistributedSimulation::energies() {

@@ -19,6 +19,7 @@
 // tests compare the two for physical equivalence.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -37,6 +38,14 @@ struct DomainConfig {
   float dt = 0;                      // 0: Courant-limited default
   VectorStrategy strategy = VectorStrategy::Auto;
   std::uint64_t seed = 42;
+  // Comm/compute overlap (docs/ASYNC.md): hide the z-halo exchange behind
+  // the halo-independent work — interpolator planes 1..nz-1 and the
+  // interior particle push (cells below plane nz) — completing the halo
+  // with the nonblocking wait_any poll before the boundary-plane push.
+  // Same physics as the fenced schedule up to fp-reordering of current
+  // deposits; set false to force the fenced reference schedule (AdHoc
+  // strategy falls back to fenced regardless — it has no run-aware push).
+  bool overlap = true;
 };
 
 struct DistributedEnergy {
@@ -81,8 +90,26 @@ class DistributedSimulation {
     return exchanged_;
   }
 
+  /// True when the next step() will take the overlapped schedule.
+  [[nodiscard]] bool overlap_active() const {
+    return cfg_.overlap && cfg_.strategy != VectorStrategy::AdHoc;
+  }
+
  private:
+  /// In-flight z-halo exchange: pack buffers plus the two pending
+  /// receives ([0] from prev_, [1] from next_). Sends are buffered and
+  /// complete on post (minimpi semantics).
+  struct FieldHalo {
+    std::vector<float> up, down, from_prev, from_next;
+    std::array<mpi::Request, 2> recvs;
+  };
+
+  [[nodiscard]] FieldHalo begin_field_halo();
+  void complete_field_halo(FieldHalo& halo);
   void exchange_field_ghosts();
+  void step_fenced();
+  void step_overlapped();
+  void finish_accumulate_and_fields();
   void exchange_exits(std::vector<ExitRecord>& exits);
 
   DomainConfig cfg_;

@@ -2,11 +2,13 @@
 
 namespace vpic::core {
 
-void InterpolatorArray::load(const FieldArray& f) {
+void InterpolatorArray::load_planes(const FieldArray& f, int z_begin,
+                                    int z_end) {
   const Grid& g = grid;
+  if (z_begin > z_end) return;
   const float fourth = 0.25f;
   const float half = 0.5f;
-  pk::parallel_for("interp/load", pk::RangePolicy<>(1, g.nz + 1),
+  pk::parallel_for("interp/load", pk::RangePolicy<>(z_begin, z_end + 1),
                    [&, g](index_t izz) {
     const int iz = static_cast<int>(izz);
     for (int iy = 1; iy <= g.ny; ++iy) {

@@ -39,7 +39,14 @@ struct InterpolatorArray {
 
   /// Rebuild all interior-cell coefficients from the fields (VPIC
   /// load_interpolator_array).
-  void load(const FieldArray& f);
+  void load(const FieldArray& f) { load_planes(f, 1, grid.nz); }
+
+  /// Rebuild only interior z-planes [z_begin, z_end] (1-based, inclusive).
+  /// Plane iz reads field planes iz and iz+1 and nothing below, so planes
+  /// 1..nz-1 never touch the z ghosts: the overlapped distributed step
+  /// loads them while the halo exchange is still in flight, then loads
+  /// plane nz (the only one reading ghost nz+1) after the halo lands.
+  void load_planes(const FieldArray& f, int z_begin, int z_end);
 };
 
 /// Evaluate the interpolated fields at a cell-local position. Used by the

@@ -39,6 +39,7 @@
 #include "core/grid.hpp"
 #include "core/interpolator.hpp"
 #include "core/particle.hpp"
+#include "sort/runs.hpp"
 
 namespace vpic::core {
 
@@ -114,6 +115,23 @@ PushPath advance_species(Species& sp, const InterpolatorArray& interp,
                          VectorStrategy strategy,
                          const MoverOptions& opts = {},
                          PushPath path = PushPath::AutoDetect);
+
+/// Push exactly the particles covered by `runs` (maximal same-cell
+/// segments from sort::segment_runs) with the run-aware kernel of
+/// `strategy`. This is the building block of the overlapped distributed
+/// step: the caller partitions the run list at the subdomain boundary and
+/// pushes interior runs while the halo exchange is in flight, then the
+/// boundary runs once it lands. Unlike advance_species this does NOT age
+/// the species' sortedness hint — the caller does that once after all
+/// partial pushes of the step.
+///
+/// Throws std::invalid_argument for VectorStrategy::AdHoc (it has no
+/// run-aware variant; callers fall back to the fenced path) and the same
+/// std::logic_error as advance_species for an unguarded exit queue.
+void advance_species_runs(Species& sp, const InterpolatorArray& interp,
+                          AccumulatorArray& acc, const Grid& g,
+                          VectorStrategy strategy, const MoverOptions& opts,
+                          const std::vector<sort::CellRun>& runs);
 
 /// The AutoDetect heuristic, exposed for tests and benches: true when the
 /// species' sortedness tracking (fresh or recently-stale cell-sorted hint)

@@ -43,6 +43,16 @@ void Simulation::load_uniform_plasma(std::size_t species_idx, int ppc,
 }
 
 void Simulation::step() {
+  if (cfg_.scheduler == StepScheduler::Sequential) {
+    step_sequential();
+  } else {
+    step_graph_exec();
+  }
+}
+
+// Legacy straight-line schedule: the reference order the graph scheduler
+// must reproduce bit-identically (tests/test_step_graph.cpp).
+void Simulation::step_sequential() {
   prof::ScopedRegion step_region("step");
 
   {
@@ -99,6 +109,146 @@ void Simulation::step() {
       sort_particles(sp, cfg_.sort_order, tile,
                      cfg_.seed + static_cast<std::uint64_t>(step_count_),
                      fields_.grid.nv());
+  }
+}
+
+// Express the step as a validated StepGraph. Every edge below orders a
+// conflicting phase pair to match step_sequential(), so the scheduled
+// result is bit-identical to the legacy order; what remains unordered is
+// exactly the concurrency that cannot change results (interpolator load
+// vs accumulator clear, per-species sorts). Per-species push phases are
+// chained — they share the accumulator and float atomics are not
+// associative. See docs/ASYNC.md for the graph picture.
+//
+// `next_step` is the step count this step will end on; the interval
+// conditions (diagnostics, sort) are evaluated against it at build time
+// so the graph's shape matches what the legacy tail would have done.
+StepGraph Simulation::build_step_graph(std::int64_t next_step) {
+  StepGraph g;
+
+  std::vector<std::string> particle_res;
+  particle_res.reserve(species_.size());
+  for (const auto& sp : species_)
+    particle_res.push_back("particles." + sp.name);
+
+  g.add_phase({"interpolate",
+               {"fields.eb"},
+               {"interp"},
+               [this] { interp_.load(fields_); }});
+  g.add_phase({"acc_clear", {}, {"acc"}, [this] { acc_.clear(); }});
+
+  last_push_paths_.resize(species_.size());
+  std::string prev;
+  for (std::size_t s = 0; s < species_.size(); ++s) {
+    std::string name = "push[" + species_[s].name + "]";
+    g.add_phase({name,
+                 {"interp"},
+                 {"acc", particle_res[s]},
+                 [this, s] {
+                   last_push_paths_[s] =
+                       advance_species(species_[s], interp_, acc_,
+                                       fields_.grid, cfg_.strategy, {},
+                                       cfg_.push_path);
+                 }});
+    if (s == 0) {
+      g.add_edge("interpolate", name);
+      g.add_edge("acc_clear", name);
+    } else {
+      g.add_edge(prev, name);
+    }
+    prev = std::move(name);
+  }
+
+  g.add_phase({"accumulate",
+               {"acc"},
+               {"fields.j"},
+               [this] {
+                 acc_.reduce_ghosts_periodic();
+                 acc_.unload(fields_);
+               }});
+  g.add_edge(species_.empty() ? "acc_clear" : prev, "accumulate");
+
+  g.add_phase({"field_advance",
+               {"fields.j"},
+               {"fields.eb"},
+               [this] {
+                 fields_.advance_b_half();
+                 fields_.update_ghosts_periodic();
+                 fields_.advance_e();
+                 fields_.update_ghosts_periodic();
+                 fields_.advance_b_half();
+                 fields_.update_ghosts_periodic();
+               }});
+  g.add_edge("accumulate", "field_advance");
+  // Orders the fields.eb read-write conflict directly; with species the
+  // push chain already implies it, without species it is load-bearing.
+  g.add_edge("interpolate", "field_advance");
+
+  std::string tail = "field_advance";
+  if (injection_hook_) {
+    // The hook gets the whole Simulation&, so it conservatively writes
+    // everything a deck hook might touch.
+    std::vector<std::string> wr{"fields.eb", "fields.j", "interp", "acc"};
+    wr.insert(wr.end(), particle_res.begin(), particle_res.end());
+    g.add_phase({"injection",
+                 {},
+                 std::move(wr),
+                 [this] { injection_hook_(*this); }});
+    g.add_edge(tail, "injection");
+    tail = "injection";
+  }
+  if (cfg_.energy_interval > 0 && next_step % cfg_.energy_interval == 0) {
+    std::vector<std::string> rd{"fields.eb"};
+    rd.insert(rd.end(), particle_res.begin(), particle_res.end());
+    g.add_phase({"diagnostics",
+                 std::move(rd),
+                 {"diag"},
+                 [this] {
+                   const auto e = energies();
+                   energy_history_.record(step_count_, e.field, e.species);
+                 }});
+    g.add_edge(tail, "diagnostics");
+    tail = "diagnostics";
+  }
+  if (cfg_.sort_interval > 0 && next_step % cfg_.sort_interval == 0) {
+    std::uint32_t tile = cfg_.sort_tile;
+    if (tile == 0)
+      tile = static_cast<std::uint32_t>(pk::DefaultExecSpace::concurrency());
+    // Each sort touches only its own species: the phases are mutually
+    // unordered and run concurrently on separate instances.
+    for (std::size_t s = 0; s < species_.size(); ++s) {
+      std::string name = "sort[" + species_[s].name + "]";
+      g.add_phase({name,
+                   {},
+                   {particle_res[s]},
+                   [this, s, tile] {
+                     sort_particles(
+                         species_[s], cfg_.sort_order, tile,
+                         cfg_.seed + static_cast<std::uint64_t>(step_count_),
+                         fields_.grid.nv());
+                   }});
+      g.add_edge(tail, name);
+    }
+  }
+  return g;
+}
+
+void Simulation::step_graph_exec() {
+  prof::ScopedRegion step_region("step");
+  StepGraph g = build_step_graph(step_count_ + 1);
+  g.validate();
+  // The phases' interval seeds and record timestamps read step_count_
+  // post-increment, exactly like the legacy tail.
+  ++step_count_;
+  g.execute(cfg_.graph_instances);
+  last_phase_stats_ = g.last_stats();
+  last_concurrency_peak_ = g.last_concurrency_peak();
+  for (const PhaseStats& st : last_phase_stats_) {
+    if (st.name.starts_with("push[")) {
+      push_seconds_ += st.seconds;
+    } else if (st.name.starts_with("sort[")) {
+      sort_seconds_ += st.seconds;
+    }
   }
 }
 

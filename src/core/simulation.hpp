@@ -25,9 +25,32 @@
 #include "core/particle.hpp"
 #include "core/push.hpp"
 #include "core/sort_particles.hpp"
+#include "core/step_graph.hpp"
 #include "prof/prof.hpp"
 
 namespace vpic::core {
+
+/// How Simulation::step() is executed (docs/ASYNC.md).
+///   Graph      — the step is built as a validated StepGraph and run over
+///                asynchronous execution instances; independent phases
+///                (interpolator load vs accumulator clear, per-species
+///                sorts) overlap. Bit-identical to Sequential by
+///                construction: every conflicting phase pair is ordered
+///                to match the serial sequence.
+///   Sequential — the legacy straight-line phase sequence, kept as the
+///                reference schedule the equivalence tests compare
+///                against.
+enum class StepScheduler : std::uint8_t { Graph, Sequential };
+
+inline const char* to_string(StepScheduler s) noexcept {
+  switch (s) {
+    case StepScheduler::Graph:
+      return "graph";
+    case StepScheduler::Sequential:
+      return "sequential";
+  }
+  return "?";
+}
 
 struct SimulationConfig {
   Grid grid;
@@ -41,6 +64,12 @@ struct SimulationConfig {
   std::uint32_t sort_tile = 0; // tiled-strided tile size (0: pick default)
   int energy_interval = 0;     // record energies every N steps (0: off)
   std::uint64_t seed = 42;
+  // Step execution: dependency-graph scheduler by default; Sequential is
+  // the legacy reference order (docs/ASYNC.md).
+  StepScheduler scheduler = StepScheduler::Graph;
+  // Concurrent phase limit (pk::Instance pool size) for the Graph
+  // scheduler.
+  std::size_t graph_instances = 2;
 };
 
 struct EnergyReport {
@@ -137,7 +166,22 @@ class Simulation {
     return energy_history_;
   }
 
+  /// Per-phase timings/placements of the most recent Graph-scheduled
+  /// step; empty under the Sequential scheduler.
+  [[nodiscard]] const std::vector<PhaseStats>& last_phase_stats() const {
+    return last_phase_stats_;
+  }
+
+  /// Peak number of phases in flight simultaneously during the most
+  /// recent Graph-scheduled step (>= 2 shows real overlap happened).
+  [[nodiscard]] std::size_t last_concurrency_peak() const {
+    return last_concurrency_peak_;
+  }
+
  private:
+  void step_sequential();
+  void step_graph_exec();
+  [[nodiscard]] StepGraph build_step_graph(std::int64_t next_step);
   SimulationConfig cfg_;
   FieldArray fields_;
   InterpolatorArray interp_;
@@ -151,6 +195,8 @@ class Simulation {
   // deprecation notes on push_seconds()/sort_seconds().
   double push_seconds_ = 0;
   double sort_seconds_ = 0;
+  std::vector<PhaseStats> last_phase_stats_;
+  std::size_t last_concurrency_peak_ = 0;
 };
 
 }  // namespace vpic::core

@@ -1,0 +1,224 @@
+#include "core/step_graph.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+
+#include "pk/instance.hpp"
+#include "prof/prof.hpp"
+
+namespace vpic::core {
+
+namespace {
+
+bool intersects(const std::vector<std::string>& a,
+                const std::vector<std::string>& b, std::string* which) {
+  for (const auto& x : a)
+    for (const auto& y : b)
+      if (x == y) {
+        if (which) *which = x;
+        return true;
+      }
+  return false;
+}
+
+}  // namespace
+
+std::size_t StepGraph::add_phase(StepPhase phase) {
+  if (phase.name.empty())
+    throw std::invalid_argument("StepGraph: phase name must be non-empty");
+  if (by_name_.contains(phase.name))
+    throw std::invalid_argument("StepGraph: duplicate phase name '" +
+                                phase.name + "'");
+  const std::size_t id = nodes_.size();
+  by_name_.emplace(phase.name, id);
+  nodes_.push_back({std::move(phase), {}, {}});
+  validated_ = false;
+  return id;
+}
+
+void StepGraph::add_edge(std::string_view before, std::string_view after) {
+  const auto b = by_name_.find(before);
+  const auto a = by_name_.find(after);
+  if (b == by_name_.end() || a == by_name_.end())
+    throw std::invalid_argument(
+        "StepGraph: add_edge on unknown phase '" +
+        std::string(b == by_name_.end() ? before : after) + "'");
+  if (b->second == a->second)
+    throw std::invalid_argument("StepGraph: self-edge on phase '" +
+                                std::string(before) + "'");
+  nodes_[b->second].succ.push_back(a->second);
+  nodes_[a->second].pred.push_back(b->second);
+  validated_ = false;
+}
+
+std::vector<std::vector<bool>> StepGraph::reachability() const {
+  const std::size_t n = nodes_.size();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  // DFS from each node; graphs here are tens of phases, O(n^2) is free.
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<std::size_t> stack{s};
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      for (std::size_t v : nodes_[u].succ)
+        if (!reach[s][v]) {
+          reach[s][v] = true;
+          stack.push_back(v);
+        }
+    }
+  }
+  return reach;
+}
+
+void StepGraph::validate() const {
+  if (validated_) return;
+  const std::size_t n = nodes_.size();
+
+  // Cycle check: Kahn's algorithm.
+  std::vector<std::size_t> indeg(n, 0);
+  for (const Node& node : nodes_)
+    for (std::size_t v : node.succ) ++indeg[v];
+  std::deque<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (indeg[i] == 0) ready.push_back(i);
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const std::size_t u = ready.front();
+    ready.pop_front();
+    ++processed;
+    for (std::size_t v : nodes_[u].succ)
+      if (--indeg[v] == 0) ready.push_back(v);
+  }
+  if (processed != n) {
+    for (std::size_t i = 0; i < n; ++i)
+      if (indeg[i] != 0)
+        throw std::logic_error("StepGraph: cycle through phase '" +
+                               nodes_[i].phase.name + "'");
+  }
+
+  // Conflict check: every conflicting pair must be ordered by a path.
+  const auto reach = reachability();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (reach[i][j] || reach[j][i]) continue;  // ordered: safe
+      const StepPhase& a = nodes_[i].phase;
+      const StepPhase& b = nodes_[j].phase;
+      std::string res;
+      const char* kind = nullptr;
+      if (intersects(a.writes, b.writes, &res))
+        kind = "write-write";
+      else if (intersects(a.writes, b.reads, &res) ||
+               intersects(a.reads, b.writes, &res))
+        kind = "read-write";
+      if (kind)
+        throw std::logic_error("StepGraph: unordered " + std::string(kind) +
+                               " conflict between phases '" + a.name +
+                               "' and '" + b.name + "' on resource '" + res +
+                               "' (add an edge to order them)");
+    }
+  }
+  validated_ = true;
+}
+
+void StepGraph::execute(std::size_t num_instances) {
+  validate();
+  const std::size_t n = nodes_.size();
+  stats_.assign(n, PhaseStats{});
+  for (std::size_t i = 0; i < n; ++i) stats_[i].name = nodes_[i].phase.name;
+  concurrency_peak_ = 0;
+  if (n == 0) return;
+  num_instances = std::max<std::size_t>(1, std::min(num_instances, n));
+
+  std::vector<pk::Instance<>> pool(num_instances);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::size_t> indeg(n, 0);
+  for (const Node& node : nodes_)
+    for (std::size_t v : node.succ) ++indeg[v];
+  // Ready phases kept sorted by insertion id: dispatch order is
+  // deterministic (results never depend on it — validate() proved
+  // conflicting pairs ordered — but stable traces are easier to read).
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (indeg[i] == 0) ready.push_back(i);
+  std::vector<bool> busy(num_instances, false);
+  std::size_t completed = 0, in_flight = 0;
+  std::exception_ptr error;
+
+  std::unique_lock lk(mu);
+  for (;;) {
+    // Dispatch everything currently possible.
+    while (!error && !ready.empty()) {
+      const auto idle =
+          std::find(busy.begin(), busy.end(), false);
+      if (idle == busy.end()) break;
+      const std::size_t slot =
+          static_cast<std::size_t>(idle - busy.begin());
+      const std::size_t id = ready.front();
+      ready.erase(ready.begin());
+      busy[slot] = true;
+      ++in_flight;
+      concurrency_peak_ = std::max(concurrency_peak_, in_flight);
+      Node& node = nodes_[id];
+      stats_[id].instance_id = pool[slot].id();
+      pk::async(pool[slot], node.phase.name.c_str(), [&, id, slot] {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::exception_ptr phase_error;
+        try {
+          prof::ScopedRegion region(nodes_[id].phase.name.c_str());
+          nodes_[id].phase.fn();
+        } catch (...) {
+          phase_error = std::current_exception();
+        }
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        std::lock_guard inner(mu);
+        stats_[id].seconds = secs;
+        busy[slot] = false;
+        --in_flight;
+        ++completed;
+        if (phase_error) {
+          if (!error) error = phase_error;
+        } else {
+          for (std::size_t v : nodes_[id].succ)
+            if (--indeg[v] == 0)
+              ready.insert(std::lower_bound(ready.begin(), ready.end(), v),
+                           v);
+        }
+        cv.notify_all();
+      });
+    }
+    if (completed == n) break;
+    if (error && in_flight == 0) break;
+    if (!error && ready.empty() && in_flight == 0)
+      throw std::logic_error("StepGraph: scheduler stalled");  // unreachable
+    cv.wait(lk);
+  }
+  lk.unlock();
+
+  // Quiesce the pool before the instances (and captured state) die; also
+  // surfaces any InstanceImpl-level deferred error.
+  for (auto& inst : pool) inst.fence();
+  if (error) std::rethrow_exception(error);
+}
+
+std::string StepGraph::dot() const {
+  std::string out = "digraph step {\n  rankdir=LR;\n";
+  for (const Node& node : nodes_) {
+    out += "  \"" + node.phase.name + "\";\n";
+    for (std::size_t v : node.succ)
+      out += "  \"" + node.phase.name + "\" -> \"" + nodes_[v].phase.name +
+             "\";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace vpic::core

@@ -67,4 +67,52 @@ inline CommEstimate model_comm(const DeviceSpec& dev, double cells_per_rank,
   return e;
 }
 
+// ----------------------------------------------------------------------
+// Comm/compute overlap model. The overlapped runtime schedule
+// (DistributedSimulation::step_overlapped, docs/ASYNC.md) hides the halo
+// exchange behind halo-independent compute: interpolator planes 1..nz-1
+// and the interior particle push. Modeled per step as
+//
+//   hidden  = min(overlappable comm, overlap window)
+//   exposed = t_comm - hidden
+//   t_step  = t_compute + exposed
+//
+// where the window is the halo-independent fraction of compute and the
+// per-step sync/collective tail is never hideable.
+// ----------------------------------------------------------------------
+
+struct OverlapParams {
+  // Fraction of per-step compute that does not touch halo data and can
+  // run while the exchange is in flight. For a z-slab of nz interior
+  // planes that is ~(nz-1)/nz of the interpolator load and the volume
+  // fraction of particles below the boundary plane — ~0.9 for the slab
+  // shapes of the Fig. 10 sweeps.
+  double overlappable_compute_fraction = 0.9;
+  // Fraction of comm hideable under the window: flight latency and
+  // bandwidth of the nonblocking exchanges. The sync_overhead_us tail
+  // (collectives, per-step fences) stays on the critical path.
+  double overlappable_comm_fraction = 0.9;
+};
+
+struct OverlapEstimate {
+  double window_seconds = 0;   // compute available to hide comm under
+  double hidden_seconds = 0;   // comm actually hidden
+  double exposed_seconds = 0;  // comm left on the critical path
+  double step_seconds = 0;     // compute + exposed comm
+};
+
+/// Overlapped step time for a rank whose fenced step is
+/// `compute_seconds + comm.seconds`.
+inline OverlapEstimate model_overlap(const CommEstimate& comm,
+                                     double compute_seconds,
+                                     const OverlapParams& p = {}) {
+  OverlapEstimate o;
+  o.window_seconds = p.overlappable_compute_fraction * compute_seconds;
+  const double hideable = p.overlappable_comm_fraction * comm.seconds;
+  o.hidden_seconds = std::min(hideable, o.window_seconds);
+  o.exposed_seconds = comm.seconds - o.hidden_seconds;
+  o.step_seconds = compute_seconds + o.exposed_seconds;
+  return o;
+}
+
 }  // namespace vpic::gpusim

@@ -58,6 +58,7 @@ std::vector<ScalingPoint> strong_scaling(
   std::vector<ScalingPoint> out;
   out.reserve(rank_counts.size());
   double base_time = 0;
+  double base_overlapped = 0;
   int base_ranks = 0;
   for (const int n : rank_counts) {
     const std::uint64_t cells_per_rank =
@@ -80,12 +81,17 @@ std::vector<ScalingPoint> strong_scaling(
     pt.grid_fits_llc = static_cast<double>(cells_per_rank) *
                            params.grid_bytes_per_point <=
                        dev.llc_bytes();
+    const OverlapEstimate ov = model_overlap(c, r.timing.seconds);
+    pt.overlapped_step_seconds = ov.step_seconds;
+    pt.comm_hidden_seconds = ov.hidden_seconds;
     if (out.empty()) {
       base_time = pt.step_seconds;
+      base_overlapped = pt.overlapped_step_seconds;
       base_ranks = n;
     }
     pt.speedup = base_time / pt.step_seconds;
     pt.ideal_speedup = static_cast<double>(n) / base_ranks;
+    pt.overlapped_speedup = base_overlapped / pt.overlapped_step_seconds;
     out.push_back(pt);
   }
   return out;

@@ -41,6 +41,12 @@ struct ScalingPoint {
   double ideal_speedup = 0;
   double pushes_per_ns_per_rank = 0;
   bool grid_fits_llc = false;
+  // Modeled comm/compute overlap (model_overlap): step time with the
+  // hideable comm run under the interior-compute window, the comm hidden,
+  // and the speedup recomputed against the overlapped base point.
+  double overlapped_step_seconds = 0;
+  double comm_hidden_seconds = 0;
+  double overlapped_speedup = 0;
 };
 
 /// Fig. 10: strong scaling at fixed total (grid, particles).

@@ -1,6 +1,7 @@
 #include "minimpi/minimpi.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include "prof/prof.hpp"
 #include <exception>
@@ -10,12 +11,24 @@
 namespace vpic::mpi {
 
 namespace {
+
+using steady = std::chrono::steady_clock;
+
 struct MailboxKey {
   int src;
   int dst;
   int tag;
   auto operator<=>(const MailboxKey&) const = default;
 };
+
+/// A posted message plus its modeled delivery time (post time + the
+/// world's injected link latency). Matching respects per-key FIFO order:
+/// only the front of a mailbox deque is ever eligible.
+struct Message {
+  std::vector<std::byte> bytes;
+  steady::time_point ready;
+};
+
 }  // namespace
 
 // Receives are matched lazily: irecv records the match spec and wait()/
@@ -35,39 +48,54 @@ struct Request::State {
 
 class World {
  public:
-  explicit World(int nranks) : nranks_(nranks) {
+  explicit World(int nranks, const WorldOptions& opts = {})
+      : nranks_(nranks),
+        latency_(std::chrono::duration_cast<steady::duration>(
+            std::chrono::duration<double, std::micro>(
+                opts.latency_us > 0 ? opts.latency_us : 0))) {
     slots_.resize(static_cast<std::size_t>(nranks));
   }
 
   int nranks() const noexcept { return nranks_; }
 
   void post(int src, int dst, int tag, const void* data, std::size_t bytes) {
+    Message m;
+    m.bytes.assign(static_cast<const std::byte*>(data),
+                   static_cast<const std::byte*>(data) + bytes);
+    m.ready = steady::now() + latency_;
     {
       std::lock_guard lk(mail_mutex_);
-      auto& q = mail_[MailboxKey{src, dst, tag}];
-      q.emplace_back(static_cast<const std::byte*>(data),
-                     static_cast<const std::byte*>(data) + bytes);
+      mail_[MailboxKey{src, dst, tag}].push_back(std::move(m));
     }
     mail_cv_.notify_all();
   }
 
-  /// Blocking receive: pops the oldest matching message into buf.
+  /// Blocking receive: pops the oldest matching *delivered* message into
+  /// buf. With injected latency this sleeps out the remaining flight time
+  /// of the front message when nothing else can arrive first.
   std::size_t receive(int src, int dst, int tag, void* buf,
                       std::size_t capacity) {
     std::unique_lock lk(mail_mutex_);
     const MailboxKey key{src, dst, tag};
-    mail_cv_.wait(lk, [&] {
+    for (;;) {
       auto it = mail_.find(key);
-      return it != mail_.end() && !it->second.empty();
-    });
-    auto& q = mail_[key];
-    std::vector<std::byte> msg = std::move(q.front());
-    q.pop_front();
-    lk.unlock();
-    if (msg.size() > capacity)
-      throw std::length_error("minimpi: message larger than recv buffer");
-    std::memcpy(buf, msg.data(), msg.size());
-    return msg.size();
+      if (it != mail_.end() && !it->second.empty()) {
+        Message& front = it->second.front();
+        if (front.ready <= steady::now()) {
+          std::vector<std::byte> msg = std::move(front.bytes);
+          it->second.pop_front();
+          lk.unlock();
+          if (msg.size() > capacity)
+            throw std::length_error(
+                "minimpi: message larger than recv buffer");
+          std::memcpy(buf, msg.data(), msg.size());
+          return msg.size();
+        }
+        mail_cv_.wait_until(lk, front.ready);
+      } else {
+        mail_cv_.wait(lk);
+      }
+    }
   }
 
   bool try_receive(int src, int dst, int tag, void* buf,
@@ -75,7 +103,8 @@ class World {
     std::lock_guard lk(mail_mutex_);
     auto it = mail_.find(MailboxKey{src, dst, tag});
     if (it == mail_.end() || it->second.empty()) return false;
-    std::vector<std::byte> msg = std::move(it->second.front());
+    if (it->second.front().ready > steady::now()) return false;  // in flight
+    std::vector<std::byte> msg = std::move(it->second.front().bytes);
     it->second.pop_front();
     if (msg.size() > capacity)
       throw std::length_error("minimpi: message larger than recv buffer");
@@ -87,11 +116,16 @@ class World {
   std::size_t probe(int src, int dst, int tag) {
     std::unique_lock lk(mail_mutex_);
     const MailboxKey key{src, dst, tag};
-    mail_cv_.wait(lk, [&] {
+    for (;;) {
       auto it = mail_.find(key);
-      return it != mail_.end() && !it->second.empty();
-    });
-    return mail_[key].front().size();
+      if (it != mail_.end() && !it->second.empty()) {
+        const Message& front = it->second.front();
+        if (front.ready <= steady::now()) return front.bytes.size();
+        mail_cv_.wait_until(lk, front.ready);
+      } else {
+        mail_cv_.wait(lk);
+      }
+    }
   }
 
   void barrier() {
@@ -117,9 +151,10 @@ class World {
 
  private:
   int nranks_;
+  steady::duration latency_{};
   std::mutex mail_mutex_;
   std::condition_variable mail_cv_;
-  std::map<MailboxKey, std::deque<std::vector<std::byte>>> mail_;
+  std::map<MailboxKey, std::deque<Message>> mail_;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
@@ -156,6 +191,19 @@ bool Request::test() {
   return state_->done;
 }
 
+std::size_t wait_any(std::span<Request> reqs) {
+  if (reqs.empty())
+    throw std::invalid_argument("minimpi: wait_any on an empty request set");
+  prof::ScopedRegion region("mpi/wait_any");
+  for (;;) {
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+      if (reqs[i].test()) return i;
+    // Nothing complete: back off briefly. The poll granularity only has to
+    // be fine relative to the modeled link latencies (tens-hundreds of us).
+    std::this_thread::sleep_for(std::chrono::microseconds(10));
+  }
+}
+
 int Comm::size() const noexcept { return world_->nranks(); }
 
 Request Comm::isend_bytes(int dest, int tag, const void* data,
@@ -190,8 +238,13 @@ void Comm::barrier() {
 }
 
 void run(int nranks, const std::function<void(Comm&)>& fn) {
+  run(nranks, WorldOptions{}, fn);
+}
+
+void run(int nranks, const WorldOptions& opts,
+         const std::function<void(Comm&)>& fn) {
   if (nranks < 1) throw std::invalid_argument("minimpi: nranks must be >= 1");
-  World world(nranks);
+  World world(nranks, opts);
   std::vector<std::thread> threads;
   std::exception_ptr first_error;
   std::mutex err_mutex;

@@ -33,7 +33,9 @@ class World;
 
 /// Handle to a pending nonblocking operation. Sends complete immediately
 /// (buffered semantics, like small-message MPI_Isend); receives complete
-/// when a matching message arrives.
+/// when a matching message arrives — or, with a simulated link latency
+/// (WorldOptions::latency_us), once the message's modeled delivery time
+/// has passed.
 class Request {
  public:
   Request() = default;
@@ -41,12 +43,32 @@ class Request {
   /// Block until the operation is complete (MPI_Wait).
   void wait();
 
+  /// Nonblocking completion poll (MPI_Test): true once complete. Stable
+  /// after completion — repeated calls keep returning true. The overlap
+  /// scheduler polls this instead of blocking in wait().
   [[nodiscard]] bool test();
 
  private:
   friend class Comm;
+  friend std::size_t wait_any(std::span<Request> reqs);
   struct State;
   std::shared_ptr<State> state_;
+};
+
+/// Block until at least one request completes; returns its index
+/// (MPI_Waitany). Already-complete (or send/null) requests win
+/// immediately, lowest index first. Throws std::invalid_argument on an
+/// empty span.
+std::size_t wait_any(std::span<Request> reqs);
+
+/// World construction knobs for run(). `latency_us` injects a modeled
+/// point-to-point link latency: a message becomes matchable only once
+/// latency_us microseconds have elapsed since its isend. The default 0 is
+/// the seed behaviour (instant delivery). This is what makes comm/compute
+/// overlap *measurable* in-process (bench/step_overlap.cpp): without it a
+/// buffered isend completes before the receiver ever waits.
+struct WorldOptions {
+  double latency_us = 0;
 };
 
 /// Per-rank communicator handle. Copyable; all copies refer to the shared
@@ -108,6 +130,8 @@ class Comm {
  private:
   friend class World;
   friend void run(int, const std::function<void(Comm&)>&);
+  friend void run(int, const WorldOptions&,
+                  const std::function<void(Comm&)>&);
   Comm(World* world, int rank) : world_(world), rank_(rank) {}
 
   Request isend_bytes(int dest, int tag, const void* data, std::size_t bytes);
@@ -120,6 +144,10 @@ class Comm {
 /// Run `fn(comm)` on `nranks` rank-threads and join them. Exceptions thrown
 /// by a rank are rethrown (first one wins) after all ranks exit.
 void run(int nranks, const std::function<void(Comm&)>& fn);
+
+/// As above with explicit world options (e.g. injected link latency).
+void run(int nranks, const WorldOptions& opts,
+         const std::function<void(Comm&)>& fn);
 
 namespace detail {
 // Reserved tags for the header-implemented collectives; user tags should

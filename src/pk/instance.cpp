@@ -1,0 +1,139 @@
+#include "pk/instance.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "pk/config.hpp"
+
+namespace vpic::pk {
+
+namespace detail {
+
+namespace {
+
+std::uint32_t next_instance_id() {
+  // 0 is reserved for the global fence scope.
+  static std::atomic<std::uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Registry of live instances for the global pk::fence(). Weak pointers:
+/// fence_all pins each instance for the duration of its fence without
+/// keeping dead queues alive, and destruction never blocks on the
+/// registry lock while a fence is in progress.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::weak_ptr<InstanceImpl>> instances;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+InstanceImpl::InstanceImpl(const char* space_name)
+    : space_name_(space_name), id_(next_instance_id()) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+InstanceImpl::~InstanceImpl() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  worker_.join();
+  // A deferred error with no fence between the failing task and
+  // destruction is dropped, like an unchecked asynchronous CUDA error.
+}
+
+std::uint64_t InstanceImpl::enqueue(std::function<void()> task) {
+  std::uint64_t depth;
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(std::move(task));
+    depth = queue_.size() + (running_ ? 1 : 0);
+  }
+  cv_work_.notify_one();
+  return depth;
+}
+
+void InstanceImpl::fence(const char* what) {
+  const std::uint64_t handle = prof::begin_fence(what, id_);
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return queue_.empty() && !running_; });
+  std::exception_ptr err = std::exchange(error_, nullptr);
+  lk.unlock();
+  prof::end_fence(handle);
+  if (err) std::rethrow_exception(err);
+}
+
+std::size_t InstanceImpl::pending() const {
+  std::lock_guard lk(mu_);
+  return queue_.size() + (running_ ? 1 : 0);
+}
+
+void InstanceImpl::worker_loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    cv_work_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ set and drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    running_ = true;
+    lk.unlock();
+    try {
+      task();
+    } catch (...) {
+      lk.lock();
+      if (!error_) error_ = std::current_exception();
+      lk.unlock();
+    }
+    lk.lock();
+    running_ = false;
+    if (queue_.empty()) cv_idle_.notify_all();
+  }
+}
+
+std::shared_ptr<InstanceImpl> create_instance(const char* space_name) {
+  auto impl = std::make_shared<InstanceImpl>(space_name);
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  // Compact expired slots while we hold the lock anyway.
+  std::erase_if(r.instances,
+                [](const std::weak_ptr<InstanceImpl>& w) {
+                  return w.expired();
+                });
+  r.instances.push_back(impl);
+  return impl;
+}
+
+}  // namespace detail
+
+void fence() {
+  const std::uint64_t handle = prof::begin_fence("pk::fence", 0);
+  // Snapshot under the lock, fence outside it: a fence can take arbitrary
+  // time and must not block instance creation/destruction.
+  std::vector<std::shared_ptr<detail::InstanceImpl>> live;
+  {
+    detail::Registry& r = detail::registry();
+    std::lock_guard lk(r.mu);
+    live.reserve(r.instances.size());
+    for (const auto& w : r.instances)
+      if (auto s = w.lock()) live.push_back(std::move(s));
+  }
+  std::exception_ptr first;
+  for (const auto& inst : live) {
+    try {
+      inst->fence("pk::fence");
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  prof::end_fence(handle);
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace vpic::pk

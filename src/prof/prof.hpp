@@ -109,6 +109,8 @@ struct Report {
   std::uint64_t open_regions = 0;      // pushed but not yet popped
   std::uint64_t unbalanced_pops = 0;   // pops with empty stack
   std::uint64_t dropped_trace_events = 0;
+  std::uint64_t fences = 0;            // begin_fence events observed
+  std::uint64_t async_dispatches = 0;  // instance submissions observed
 
   /// Machine-readable form (schema "vpic-prof-v1").
   [[nodiscard]] std::string to_json() const;

@@ -2,7 +2,12 @@
 // tag matching, probe, collectives, Cartesian topology.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstddef>
 #include <numeric>
+#include <span>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "minimpi/minimpi.hpp"
@@ -287,5 +292,137 @@ TEST(MiniMpi, CollectivesComposeWithP2p) {
     int got = -1;
     c.irecv(1 - c.rank(), 5, got).wait();
     EXPECT_EQ(got, 1 - c.rank());
+  });
+}
+
+// ----------------------------------------------------------------------
+// Request::test() / wait_any: nonblocking completion probing
+// (docs/ASYNC.md). WorldOptions::latency_us injects a modeled delivery
+// delay so "not yet complete" is an observable state in-process.
+// ----------------------------------------------------------------------
+
+TEST(MiniMpiTest, SendRequestTestsTrueImmediately) {
+  mpi::run(2, [](mpi::Comm& c) {
+    // Buffered isend: the payload is copied at post time, so the send
+    // request is complete as soon as it exists, and stays complete.
+    if (c.rank() == 0) {
+      const int msg = 5;
+      auto req = c.isend(1, 30, msg);
+      EXPECT_TRUE(req.test());
+      EXPECT_TRUE(req.test());
+      req.wait();  // wait() after test()=true must be a no-op
+    } else {
+      int got = 0;
+      c.irecv(0, 30, got).wait();
+      EXPECT_EQ(got, 5);
+    }
+  });
+}
+
+TEST(MiniMpiTest, RecvTestFalseBeforeArrivalTrueAfter) {
+  mpi::run(2, [](mpi::Comm& c) {
+    if (c.rank() == 0) {
+      int got = 0;
+      auto req = c.irecv(1, 31, got);
+      // Nothing was sent yet (rank 1 is parked on the barrier below), so
+      // the receive cannot be complete.
+      EXPECT_FALSE(req.test());
+      c.barrier();  // release rank 1's send
+      req.wait();
+      EXPECT_EQ(got, 77);
+      // Repeated test() after completion stays true and keeps the value.
+      EXPECT_TRUE(req.test());
+      EXPECT_TRUE(req.test());
+      EXPECT_EQ(got, 77);
+    } else {
+      c.barrier();
+      const int msg = 77;
+      c.isend(0, 31, msg).wait();
+    }
+  });
+}
+
+TEST(MiniMpiTest, LatencyDelaysCompletion) {
+  mpi::WorldOptions opts;
+  opts.latency_us = 20'000;  // 20 ms: far above scheduling noise
+  mpi::run(2, opts, [](mpi::Comm& c) {
+    if (c.rank() == 0) {
+      int got = 0;
+      auto req = c.irecv(1, 32, got);
+      c.barrier();  // sender has posted by the time barrier releases
+      // The message exists but its modeled delivery time is ~20ms out.
+      EXPECT_FALSE(req.test());
+      req.wait();
+      EXPECT_EQ(got, 9);
+      EXPECT_TRUE(req.test());
+    } else {
+      const int msg = 9;
+      c.isend(0, 32, msg);
+      c.barrier();
+    }
+  });
+}
+
+TEST(MiniMpiTest, WaitAnyReturnsInCompletionOrder) {
+  mpi::WorldOptions opts;
+  opts.latency_us = 15'000;
+  mpi::run(2, opts, [](mpi::Comm& c) {
+    if (c.rank() == 0) {
+      int fast = 0, slow = 0;
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(c.irecv(1, 40, slow));  // index 0: sent second
+      reqs.push_back(c.irecv(1, 41, fast));  // index 1: sent first
+      c.barrier();
+      // The tag-41 message was isent ~30ms before the tag-40 one, so its
+      // modeled delivery time is earlier: wait_any must pick index 1.
+      const std::size_t first = mpi::wait_any(std::span<mpi::Request>(reqs));
+      EXPECT_EQ(first, 1u);
+      EXPECT_EQ(fast, 1);
+      reqs.erase(reqs.begin() + static_cast<std::ptrdiff_t>(first));
+      const std::size_t second = mpi::wait_any(std::span<mpi::Request>(reqs));
+      EXPECT_EQ(second, 0u);
+      EXPECT_EQ(slow, 2);
+    } else {
+      const int first_msg = 1, second_msg = 2;
+      c.isend(0, 41, first_msg);
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      c.isend(0, 40, second_msg);
+      c.barrier();
+    }
+  });
+}
+
+TEST(MiniMpiTest, WaitAnyDrainLoopCompletesEveryRequest) {
+  // wait_any returns *some* complete index each call; the caller's drain
+  // contract is to erase the returned request before calling again (as
+  // DistributedSimulation::complete_field_halo does).
+  mpi::run(2, [](mpi::Comm& c) {
+    if (c.rank() == 0) {
+      int a = 0, b = 0;
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(c.irecv(1, 50, a));
+      reqs.push_back(c.irecv(1, 51, b));
+      c.barrier();
+      while (!reqs.empty()) {
+        const std::size_t i = mpi::wait_any(std::span<mpi::Request>(reqs));
+        ASSERT_LT(i, reqs.size());
+        reqs.erase(reqs.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+      EXPECT_EQ(a, 10);
+      EXPECT_EQ(b, 11);
+    } else {
+      const int a = 10, b = 11;
+      c.isend(0, 50, a);
+      c.isend(0, 51, b);
+      c.barrier();
+    }
+  });
+}
+
+TEST(MiniMpiTest, WaitAnyEmptySpanThrows) {
+  mpi::run(1, [](mpi::Comm&) {
+    std::vector<mpi::Request> none;
+    EXPECT_THROW(mpi::wait_any(std::span<mpi::Request>(none)),
+                 std::invalid_argument);
   });
 }

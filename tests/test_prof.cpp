@@ -511,6 +511,26 @@ TEST(ProfAlloc, ViewAllocCountDelegatesAndCountsWhenOff) {
   EXPECT_EQ(&pk::view_alloc_count(), &pk::prof::alloc_count());
 }
 
+// ---------------------------------------------------------------------
+// Instance fence / async-dispatch hooks (docs/ASYNC.md): instance
+// submissions and fences are observable through the same hook table as
+// kernel dispatches.
+// ---------------------------------------------------------------------
+TEST(ProfInstance, CountsFencesAndAsyncDispatches) {
+  ProfSession session(prof::Mode::Summary);
+  pk::Instance<> q;
+  pk::View<int, 1> v("v", 128);
+  pk::parallel_for(q, "hooked_fill", pk::RangePolicy<>(0, 128),
+                   [&](pk::index_t i) { v(i) = 1; });
+  pk::async(q, "hooked_task", [] {});
+  q.fence();
+  pk::fence();  // global fence also reports through begin_fence
+
+  const prof::Report r = prof::report();
+  EXPECT_GE(r.fences, 2u) << "instance + global fence";
+  EXPECT_GE(r.async_dispatches, 2u) << "parallel_for + async submission";
+}
+
 TEST(ProfAlloc, AllocCountExactUnderParallelConstruction) {
   prof::disable();
   const pk::index_t n = 512;
