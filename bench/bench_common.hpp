@@ -249,4 +249,43 @@ inline std::string emit_bench_json(const std::string& bench) {
   return BenchReport::instance().write(bench);
 }
 
+/// Structural validation of a BENCH_*.json report against the
+/// vpic-bench-v1 contract: parseable envelope, matching schema tag, a
+/// bench name, and a non-empty record list. This is the same contract
+/// tools/check_bench_schema.py enforces in CI over a BENCH_*.json glob;
+/// benches call it on their own report before exiting so a contract break
+/// fails locally, not first on a runner. Returns false and fills `err`
+/// (when given) on the first violation.
+inline bool validate_bench_report(const std::string& path,
+                                  std::string* err = nullptr) {
+  const auto fail = [&](const std::string& msg) {
+    if (err) *err = path + ": " + msg;
+    return false;
+  };
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return fail("cannot open");
+  std::string text;
+  char buf[4096];
+  for (std::size_t got; (got = std::fread(buf, 1, sizeof(buf), f)) > 0;)
+    text.append(buf, got);
+  std::fclose(f);
+
+  const auto trimmed_back = text.find_last_not_of(" \t\r\n");
+  if (text.empty() || text.front() != '{' || trimmed_back == std::string::npos)
+    return fail("not a JSON object");
+  if (text.compare(trimmed_back - 1, 2, "]}") != 0)
+    return fail("does not end with a closed record list");
+  if (text.find("\"schema\":\"vpic-bench-v1\"") == std::string::npos)
+    return fail("missing schema tag vpic-bench-v1");
+  const auto bench_key = text.find("\"bench\":\"");
+  if (bench_key == std::string::npos) return fail("missing bench name");
+  const auto records = text.find("\"records\":[");
+  if (records == std::string::npos) return fail("missing record list");
+  const auto first_record = text.find_first_not_of(
+      " \t\r\n", records + std::strlen("\"records\":["));
+  if (first_record == std::string::npos || text[first_record] != '{')
+    return fail("empty record list");
+  return true;
+}
+
 }  // namespace vpic::bench

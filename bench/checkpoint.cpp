@@ -1,0 +1,151 @@
+// bench/checkpoint.cpp — per-step cost of checkpointing (docs/CHECKPOINT.md):
+// the same LPI run stepped three ways — no checkpoints (baseline), periodic
+// synchronous checkpoints (the step blocks for encode + file commit), and
+// periodic asynchronous checkpoints (the step pays only the deep-copy
+// encode; the commit runs on a background pk::Instance). The headline
+// numbers are the per-checkpoint overhead of each mode over the baseline
+// and the fraction of the sync cost the async path hides.
+//
+//   ./checkpoint --nx=16 --ny=8 --nz=8 --ppc=4 --steps=40 --every=5 --reps=3
+//
+// Emits BENCH_checkpoint.json (schema vpic-bench-v1) and self-validates it
+// with the shared validator before exiting.
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "bench_common.hpp"
+#include "ckpt/ckpt.hpp"
+#include "core/core.hpp"
+
+namespace core = vpic::core;
+namespace ckpt = vpic::ckpt;
+namespace bench = vpic::bench;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Params {
+  int nx, ny, nz, ppc, steps, every, reps;
+};
+
+core::Simulation make_sim(const Params& p) {
+  core::decks::LpiParams lpi;
+  lpi.nx = p.nx;
+  lpi.ny = p.ny;
+  lpi.nz = p.nz;
+  lpi.ppc = p.ppc;
+  lpi.sort_interval = 10;
+  auto sim = core::decks::make_lpi(lpi);
+  sim.config().energy_interval = 10;
+  return sim;
+}
+
+struct ModeResult {
+  bench::Timing timing;
+  std::int64_t checkpoints = 0;
+  std::uint64_t file_bytes = 0;
+};
+
+/// Time `steps` steps under one checkpoint mode ("none", "sync", "async").
+ModeResult run_mode(const Params& p, const std::string& mode) {
+  const fs::path dir =
+      fs::temp_directory_path() / ("vpic_ckpt_bench_" + mode);
+  ModeResult out;
+  std::optional<core::Simulation> sim;
+  out.timing = bench::time_reps(
+      p.reps, /*warmup=*/1,
+      [&] {
+        sim->run(p.steps);
+        sim->checkpoint_wait();
+      },
+      [&](int) {
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+        sim.emplace(make_sim(p));
+        if (mode != "none") {
+          sim->config().checkpoint_every = p.every;
+          sim->config().checkpoint_path = (dir / "ck").string();
+          sim->config().checkpoint_async = mode == "async";
+        }
+      });
+  out.checkpoints = sim->checkpoints_written();
+  ckpt::GenerationRing ring((dir / "ck").string(), 3);
+  for (std::uint64_t g : ring.generations())
+    out.file_bytes = fs::file_size(ring.path_for(g));
+  fs::remove_all(dir);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Params p;
+  p.nx = static_cast<int>(bench::flag(argc, argv, "nx", 16));
+  p.ny = static_cast<int>(bench::flag(argc, argv, "ny", 8));
+  p.nz = static_cast<int>(bench::flag(argc, argv, "nz", 8));
+  p.ppc = static_cast<int>(bench::flag(argc, argv, "ppc", 4));
+  p.steps = static_cast<int>(bench::flag(argc, argv, "steps", 40));
+  p.every = static_cast<int>(bench::flag(argc, argv, "every", 5));
+  p.reps = static_cast<int>(bench::flag(argc, argv, "reps", 3));
+
+  std::printf(
+      "checkpoint bench: %dx%dx%d ppc=%d, %d steps, checkpoint every %d, "
+      "%d reps\n\n",
+      p.nx, p.ny, p.nz, p.ppc, p.steps, p.every, p.reps);
+
+  const ModeResult none = run_mode(p, "none");
+  const ModeResult sync = run_mode(p, "sync");
+  const ModeResult async_ = run_mode(p, "async");
+
+  bench::Table t({"mode", "total ms", "ms/step", "ckpts", "file KiB"});
+  const auto row = [&](const char* mode, const ModeResult& r) {
+    t.row({mode, bench::fmt("%.3f", r.timing.min_s * 1e3),
+           bench::fmt("%.4f", r.timing.min_s * 1e3 / p.steps),
+           std::to_string(r.checkpoints),
+           bench::fmt("%.1f", static_cast<double>(r.file_bytes) / 1024.0)});
+    vpic::bench::Json("checkpoint")
+        .field("mode", mode)
+        .field("steps", p.steps)
+        .field("every", p.every)
+        .field("checkpoints", r.checkpoints)
+        .field("file_bytes", static_cast<std::int64_t>(r.file_bytes))
+        .timing("total", r.timing)
+        .print();
+  };
+  row("none", none);
+  row("sync", sync);
+  row("async", async_);
+  t.print();
+
+  const double nckpt = static_cast<double>(std::max<std::int64_t>(
+      1, sync.checkpoints));
+  const double sync_per_ckpt_ms =
+      (sync.timing.min_s - none.timing.min_s) * 1e3 / nckpt;
+  const double async_per_ckpt_ms =
+      (async_.timing.min_s - none.timing.min_s) * 1e3 / nckpt;
+  // Fraction of the sync snapshot cost the background writer hides; can
+  // be noisy-negative on loaded machines, which is still informative.
+  const double hidden =
+      sync_per_ckpt_ms > 0 ? 1.0 - async_per_ckpt_ms / sync_per_ckpt_ms : 0;
+  std::printf("\nper-checkpoint overhead: sync %.3f ms, async %.3f ms "
+              "(%.0f%% hidden)\n",
+              sync_per_ckpt_ms, async_per_ckpt_ms, hidden * 100.0);
+  vpic::bench::Json("checkpoint")
+      .field("mode", "summary")
+      .field("sync_ckpt_ms", sync_per_ckpt_ms)
+      .field("async_ckpt_ms", async_per_ckpt_ms)
+      .field("hidden_frac", hidden)
+      .print();
+
+  const std::string report = bench::emit_bench_json("checkpoint");
+  std::string err;
+  if (report.empty() || !bench::validate_bench_report(report, &err)) {
+    std::fprintf(stderr, "checkpoint: bench report invalid: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  std::printf("report: %s\n", report.c_str());
+  return 0;
+}

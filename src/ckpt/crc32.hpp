@@ -1,0 +1,46 @@
+// ckpt/crc32.hpp
+//
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) used for every
+// integrity check in the checkpoint format: file header, section table and
+// each section payload carry their own CRC so restore can tell *where* a
+// file was damaged (docs/CHECKPOINT.md failure matrix) instead of feeding
+// corrupt bytes back into the simulation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace vpic::ckpt {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental form: pass the previous return value as `seed` to extend a
+/// CRC over discontiguous buffers. The default seed is the standard
+/// initial value.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace vpic::ckpt

@@ -1,0 +1,118 @@
+#include "ckpt/fault.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "ckpt/crc32.hpp"
+#include "ckpt/format.hpp"
+
+namespace vpic::ckpt {
+
+namespace {
+
+std::vector<unsigned char> slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("fault: cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long sz = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<unsigned char> buf(sz > 0 ? static_cast<std::size_t>(sz) : 0);
+  if (!buf.empty() && std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
+    std::fclose(f);
+    throw std::runtime_error("fault: short read from " + path);
+  }
+  std::fclose(f);
+  return buf;
+}
+
+void spit(const std::string& path, const std::vector<unsigned char>& buf) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw std::runtime_error("fault: cannot write " + path);
+  if (!buf.empty() && std::fwrite(buf.data(), 1, buf.size(), f) != buf.size()) {
+    std::fclose(f);
+    throw std::runtime_error("fault: short write to " + path);
+  }
+  std::fclose(f);
+}
+
+SectionRecord read_record(const std::vector<unsigned char>& buf,
+                          std::size_t index) {
+  FileHeader h;
+  if (buf.size() < sizeof(FileHeader))
+    throw std::runtime_error("fault: file smaller than a header");
+  std::memcpy(&h, buf.data(), sizeof(FileHeader));
+  if (index >= h.section_count)
+    throw std::out_of_range("fault: section index out of range");
+  SectionRecord rec;
+  std::memcpy(&rec,
+              buf.data() + h.table_offset + index * sizeof(SectionRecord),
+              sizeof(SectionRecord));
+  return rec;
+}
+
+}  // namespace
+
+void FaultInjector::truncate_tail(const std::string& path,
+                                  std::uint64_t bytes) {
+  auto buf = slurp(path);
+  const std::size_t keep =
+      bytes >= buf.size() ? 0 : buf.size() - static_cast<std::size_t>(bytes);
+  buf.resize(keep);
+  spit(path, buf);
+}
+
+void FaultInjector::flip_bit(const std::string& path,
+                             std::uint64_t byte_offset, int bit) {
+  auto buf = slurp(path);
+  if (byte_offset >= buf.size())
+    throw std::out_of_range("fault: flip_bit offset beyond file");
+  buf[static_cast<std::size_t>(byte_offset)] ^=
+      static_cast<unsigned char>(1u << (bit & 7));
+  spit(path, buf);
+}
+
+void FaultInjector::torn_section(const std::string& path, std::size_t index) {
+  auto buf = slurp(path);
+  const SectionRecord rec = read_record(buf, index);
+  if (rec.payload_bytes < 2)
+    throw std::runtime_error("fault: section too small to tear");
+  const std::uint64_t half = rec.payload_bytes / 2;
+  std::memset(buf.data() + rec.payload_offset + half, 0,
+              static_cast<std::size_t>(rec.payload_bytes - half));
+  spit(path, buf);
+}
+
+void FaultInjector::flip_payload_bit(const std::string& path,
+                                     std::size_t index) {
+  auto buf = slurp(path);
+  const SectionRecord rec = read_record(buf, index);
+  if (rec.payload_bytes == 0)
+    throw std::runtime_error("fault: empty section payload");
+  flip_bit(path, rec.payload_offset + rec.payload_bytes / 2, 3);
+}
+
+void FaultInjector::set_version(const std::string& path,
+                                std::uint32_t version) {
+  auto buf = slurp(path);
+  if (buf.size() < sizeof(FileHeader))
+    throw std::runtime_error("fault: file smaller than a header");
+  FileHeader h;
+  std::memcpy(&h, buf.data(), sizeof(FileHeader));
+  h.version = version;
+  h.header_crc = crc32(&h, kHeaderCrcBytes);
+  std::memcpy(buf.data(), &h, sizeof(FileHeader));
+  spit(path, buf);
+}
+
+void FaultInjector::corrupt_magic(const std::string& path) {
+  auto buf = slurp(path);
+  if (buf.size() < sizeof(std::uint64_t))
+    throw std::runtime_error("fault: file smaller than the magic");
+  const std::uint64_t junk = 0x4445414442454546ull;  // "DEADBEEF"-ish
+  std::memcpy(buf.data(), &junk, sizeof(junk));
+  spit(path, buf);
+}
+
+}  // namespace vpic::ckpt

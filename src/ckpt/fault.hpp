@@ -1,0 +1,44 @@
+// ckpt/fault.hpp
+//
+// Fault injector for checkpoint files: reproduces the storage failure
+// modes a restart must survive — truncation (job killed mid-copy), torn
+// section writes (power loss after a partial flush), silent single-bit
+// flips (media/DMA corruption), and stale-format headers (restore against
+// a checkpoint from an incompatible build). Each injected fault must be
+// *detected* by FileReader as the matching typed RestoreError
+// (tests/test_ckpt.cpp pins fault -> kind), at which point the generation
+// ring falls back to the previous valid file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vpic::ckpt {
+
+class FaultInjector {
+ public:
+  /// Drop the trailing `bytes` of the file (clamped to the file size).
+  static void truncate_tail(const std::string& path, std::uint64_t bytes);
+
+  /// Flip one bit at an absolute byte offset.
+  static void flip_bit(const std::string& path, std::uint64_t byte_offset,
+                       int bit = 0);
+
+  /// Zero the trailing half of section `index`'s payload — a torn write
+  /// whose tail never reached the disk (the table still describes the
+  /// full payload, so only the payload CRC can notice).
+  static void torn_section(const std::string& path, std::size_t index);
+
+  /// Flip one bit in the middle of section `index`'s payload.
+  static void flip_payload_bit(const std::string& path, std::size_t index);
+
+  /// Rewrite the header's format version (and recompute the header CRC,
+  /// so the file presents as a *valid* checkpoint of another era rather
+  /// than as damage).
+  static void set_version(const std::string& path, std::uint32_t version);
+
+  /// Overwrite the magic — the file no longer claims to be a checkpoint.
+  static void corrupt_magic(const std::string& path);
+};
+
+}  // namespace vpic::ckpt

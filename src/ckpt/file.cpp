@@ -1,0 +1,231 @@
+#include "ckpt/file.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "prof/prof.hpp"
+
+namespace vpic::ckpt {
+
+namespace fs = std::filesystem;
+
+void FileWriter::add(EncodedSection section) {
+  if (section.name.empty() || section.name.size() > kSectionNameMax)
+    throw std::invalid_argument("ckpt: bad section name '" + section.name +
+                                "'");
+  for (const auto& s : sections_)
+    if (s.name == section.name)
+      throw std::invalid_argument("ckpt: duplicate section '" + section.name +
+                                  "'");
+  sections_.push_back(std::move(section));
+}
+
+void FileWriter::add_bytes(std::string_view name, const void* data,
+                           std::size_t n) {
+  EncodedSection s;
+  s.name = std::string(name);
+  s.elem_size = 1;
+  s.rank = 0;
+  s.extents[0] = static_cast<std::int64_t>(n);
+  s.layout = kLayoutRaw;
+  s.payload.resize(n);
+  if (n) std::memcpy(s.payload.data(), data, n);
+  add(std::move(s));
+}
+
+std::uint64_t FileWriter::commit(const std::string& path,
+                                 std::uint64_t fingerprint,
+                                 std::int64_t step) const {
+  prof::ScopedRegion r("ckpt_commit");
+
+  // Lay the file out: header, table, then 8-byte-aligned payloads.
+  FileHeader h;
+  h.fingerprint = fingerprint;
+  h.step = step;
+  h.section_count = static_cast<std::uint32_t>(sections_.size());
+  h.table_offset = sizeof(FileHeader);
+
+  std::vector<SectionRecord> table(sections_.size());
+  std::uint64_t off =
+      h.table_offset + table.size() * sizeof(SectionRecord);
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const EncodedSection& s = sections_[i];
+    SectionRecord& rec = table[i];
+    std::memcpy(rec.name, s.name.data(), s.name.size());
+    rec.elem_size = s.elem_size;
+    rec.rank = s.rank;
+    for (std::size_t d = 0; d < 4; ++d) rec.extents[d] = s.extents[d];
+    rec.layout = s.layout;
+    off = (off + kPayloadAlign - 1) / kPayloadAlign * kPayloadAlign;
+    rec.payload_offset = off;
+    rec.payload_bytes = s.payload.size();
+    rec.payload_crc = s.crc();
+    off += rec.payload_bytes;
+  }
+  h.total_bytes = off;
+  h.table_crc =
+      crc32(table.data(), table.size() * sizeof(SectionRecord));
+  h.header_crc = crc32(&h, kHeaderCrcBytes);
+
+  // Assemble in memory, then write-to-temp + rename. The single fwrite
+  // keeps the temp file either absent or complete-so-far; the rename is
+  // the commit point (POSIX rename atomicity).
+  std::vector<std::byte> blob(static_cast<std::size_t>(h.total_bytes),
+                              std::byte{0});
+  std::memcpy(blob.data(), &h, sizeof(h));
+  std::memcpy(blob.data() + h.table_offset, table.data(),
+              table.size() * sizeof(SectionRecord));
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    if (sections_[i].payload.empty()) continue;
+    std::memcpy(blob.data() + table[i].payload_offset,
+                sections_[i].payload.data(), sections_[i].payload.size());
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    prof::ScopedRegion w("ckpt_write_file");
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+      throw RestoreError(RestoreErrorKind::IoError,
+                         "cannot open '" + tmp + "' for writing");
+    const std::size_t wrote = std::fwrite(blob.data(), 1, blob.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    std::fclose(f);
+    if (wrote != blob.size() || !flushed) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw RestoreError(RestoreErrorKind::IoError,
+                         "short write to '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ec2;
+    fs::remove(tmp, ec2);
+    throw RestoreError(RestoreErrorKind::IoError,
+                       "rename '" + tmp + "' -> '" + path +
+                           "' failed: " + ec.message());
+  }
+  return h.total_bytes;
+}
+
+FileReader::FileReader(const std::string& path) : path_(path) {
+  prof::ScopedRegion r("ckpt_open");
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f)
+    throw RestoreError(RestoreErrorKind::IoError,
+                       "cannot open '" + path + "'");
+  std::fseek(f, 0, SEEK_END);
+  const long sz = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  data_.resize(sz > 0 ? static_cast<std::size_t>(sz) : 0);
+  const std::size_t got =
+      data_.empty() ? 0 : std::fread(data_.data(), 1, data_.size(), f);
+  std::fclose(f);
+  if (got != data_.size())
+    throw RestoreError(RestoreErrorKind::IoError,
+                       "short read from '" + path + "'");
+
+  if (data_.size() < sizeof(FileHeader))
+    throw RestoreError(RestoreErrorKind::Truncated,
+                       "'" + path + "' is smaller than a header (" +
+                           std::to_string(data_.size()) + " bytes)");
+  std::memcpy(&header_, data_.data(), sizeof(FileHeader));
+
+  if (header_.magic != kMagic)
+    throw RestoreError(RestoreErrorKind::BadMagic,
+                       "'" + path + "' is not a vpic checkpoint");
+  if (crc32(&header_, kHeaderCrcBytes) != header_.header_crc)
+    throw RestoreError(RestoreErrorKind::HeaderCorrupt,
+                       "header CRC mismatch in '" + path + "'");
+  if (header_.version != kFormatVersion)
+    throw RestoreError(RestoreErrorKind::BadVersion,
+                       "'" + path + "' has format version " +
+                           std::to_string(header_.version) + ", expected " +
+                           std::to_string(kFormatVersion));
+  if (header_.total_bytes > data_.size())
+    throw RestoreError(RestoreErrorKind::Truncated,
+                       "'" + path + "' holds " +
+                           std::to_string(data_.size()) + " of " +
+                           std::to_string(header_.total_bytes) +
+                           " committed bytes");
+
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(header_.section_count) *
+      sizeof(SectionRecord);
+  if (header_.table_offset + table_bytes > header_.total_bytes)
+    throw RestoreError(RestoreErrorKind::TableCorrupt,
+                       "section table out of bounds in '" + path + "'");
+  if (crc32(data_.data() + header_.table_offset, table_bytes) !=
+      header_.table_crc)
+    throw RestoreError(RestoreErrorKind::TableCorrupt,
+                       "section table CRC mismatch in '" + path + "'");
+
+  sections_.resize(header_.section_count);
+  for (std::uint32_t i = 0; i < header_.section_count; ++i) {
+    SectionRecord rec;
+    std::memcpy(&rec,
+                data_.data() + header_.table_offset +
+                    static_cast<std::uint64_t>(i) * sizeof(SectionRecord),
+                sizeof(SectionRecord));
+    Slot& slot = sections_[i];
+    // Defensive NUL-termination: name[] is NUL-padded on write.
+    rec.name[kSectionNameMax] = '\0';
+    slot.section.name = rec.name;
+    slot.section.elem_size = rec.elem_size;
+    slot.section.rank = rec.rank;
+    for (std::size_t d = 0; d < 4; ++d)
+      slot.section.extents[d] = rec.extents[d];
+    slot.section.layout = rec.layout;
+    slot.offset = rec.payload_offset;
+    slot.bytes = rec.payload_bytes;
+    slot.crc = rec.payload_crc;
+    if (slot.offset + slot.bytes > header_.total_bytes)
+      throw RestoreError(RestoreErrorKind::TableCorrupt,
+                         "section '" + slot.section.name +
+                             "' payload out of bounds in '" + path + "'");
+    if (!index_.emplace(slot.section.name, i).second)
+      throw RestoreError(RestoreErrorKind::TableCorrupt,
+                         "duplicate section '" + slot.section.name +
+                             "' in '" + path + "'");
+  }
+}
+
+const EncodedSection& FileReader::section(std::string_view name) {
+  auto it = index_.find(name);
+  if (it == index_.end())
+    throw RestoreError(RestoreErrorKind::MissingSection,
+                       "no section '" + std::string(name) + "' in '" +
+                           path_ + "'");
+  Slot& slot = sections_[it->second];
+  if (!slot.loaded) {
+    if (crc32(data_.data() + slot.offset, slot.bytes) != slot.crc)
+      throw RestoreError(RestoreErrorKind::SectionCorrupt,
+                         "payload CRC mismatch in section '" +
+                             slot.section.name + "' of '" + path_ + "'");
+    slot.section.payload.assign(data_.begin() + static_cast<std::ptrdiff_t>(slot.offset),
+                                data_.begin() + static_cast<std::ptrdiff_t>(slot.offset + slot.bytes));
+    slot.loaded = true;
+  }
+  return slot.section;
+}
+
+void FileReader::validate_all() {
+  for (const auto& [name, idx] : index_) {
+    (void)idx;
+    (void)section(name);
+  }
+}
+
+void FileReader::require_fingerprint(std::uint64_t expected) const {
+  if (header_.fingerprint != expected)
+    throw RestoreError(
+        RestoreErrorKind::FingerprintMismatch,
+        "'" + path_ + "' was written by a different deck/config (have " +
+            std::to_string(header_.fingerprint) + ", expected " +
+            std::to_string(expected) + ")");
+}
+
+}  // namespace vpic::ckpt

@@ -1,0 +1,160 @@
+// ckpt/file.hpp
+//
+// Checkpoint file writer/reader over the format in format.hpp.
+//
+// Writer: accumulate named sections in memory (encode_view deep copies, so
+// a populated Writer is a self-contained snapshot independent of the live
+// simulation — the unit the async checkpoint path hands to its background
+// instance), then commit() serializes header + table + payloads to
+// `<path>.tmp` and atomically renames onto `path`. A crash mid-write
+// leaves at worst a stale .tmp, never a half-written committed file.
+//
+// Reader: loads the whole file, validates header CRC, magic, version,
+// total size and table CRC up front, and validates each payload's CRC on
+// first access — every failure is a typed RestoreError (format.hpp), which
+// is what the generation-ring fallback dispatches on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ckpt/serialize.hpp"
+
+namespace vpic::ckpt {
+
+class FileWriter {
+ public:
+  /// Add a section; throws std::invalid_argument on duplicate names.
+  void add(EncodedSection section);
+
+  template <class T, int R, class L, class M>
+  void add_view(std::string_view name, const pk::View<T, R, L, M>& v,
+                index_t count = -1) {
+    add(encode_view(name, v, count));
+  }
+
+  void add_bytes(std::string_view name, const void* data, std::size_t n);
+
+  template <class Pod>
+  void add_pod(std::string_view name, const Pod& v) {
+    static_assert(std::is_trivially_copyable_v<Pod>);
+    add_bytes(name, &v, sizeof(Pod));
+  }
+
+  template <class Pod>
+  void add_vector(std::string_view name, const std::vector<Pod>& v) {
+    static_assert(std::is_trivially_copyable_v<Pod>);
+    EncodedSection s;
+    s.name = std::string(name);
+    s.elem_size = sizeof(Pod);
+    s.rank = 1;
+    s.extents[0] = static_cast<std::int64_t>(v.size());
+    s.layout = kLayoutRight;
+    s.payload.resize(v.size() * sizeof(Pod));
+    if (!v.empty()) std::memcpy(s.payload.data(), v.data(), s.payload.size());
+    add(std::move(s));
+  }
+
+  [[nodiscard]] std::size_t section_count() const noexcept {
+    return sections_.size();
+  }
+
+  /// Serialize everything to `path` via write-to-temp + atomic rename.
+  /// Returns the committed file size. Throws RestoreError{IoError} on any
+  /// filesystem failure (temp file is removed best-effort).
+  std::uint64_t commit(const std::string& path, std::uint64_t fingerprint,
+                       std::int64_t step) const;
+
+ private:
+  std::vector<EncodedSection> sections_;
+};
+
+class FileReader {
+ public:
+  /// Open + validate the envelope (header CRC, magic, version, size,
+  /// table CRC). Section payload CRCs are validated lazily on access.
+  explicit FileReader(const std::string& path);
+
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return header_.fingerprint;
+  }
+  [[nodiscard]] std::int64_t step() const noexcept { return header_.step; }
+  [[nodiscard]] std::size_t section_count() const noexcept {
+    return sections_.size();
+  }
+  [[nodiscard]] bool has(std::string_view name) const {
+    return index_.count(std::string(name)) != 0;
+  }
+
+  /// Fetch a section by name (CRC-validated on first access). Throws
+  /// RestoreError{MissingSection} / {SectionCorrupt}.
+  const EncodedSection& section(std::string_view name);
+
+  /// CRC-validate every payload now. Restore paths call this before
+  /// mutating any live state, so a torn/flipped payload anywhere in the
+  /// file surfaces before a single byte of the simulation changes.
+  void validate_all();
+
+  template <class T, int R, class L = pk::LayoutRight>
+  pk::View<T, R, L> view(std::string_view name,
+                         const std::string& label = "") {
+    return decode_view<T, R, L>(section(name), label);
+  }
+
+  template <class T, int R, class L, class M>
+  void read_view(std::string_view name, const pk::View<T, R, L, M>& dst) {
+    decode_view_into(section(name), dst);
+  }
+
+  template <class Pod>
+  Pod pod(std::string_view name) {
+    static_assert(std::is_trivially_copyable_v<Pod>);
+    const EncodedSection& s = section(name);
+    if (s.payload.size() != sizeof(Pod))
+      throw RestoreError(RestoreErrorKind::ShapeMismatch,
+                         "section '" + s.name + "' holds " +
+                             std::to_string(s.payload.size()) +
+                             " bytes, expected pod of " +
+                             std::to_string(sizeof(Pod)));
+    Pod v;
+    std::memcpy(&v, s.payload.data(), sizeof(Pod));
+    return v;
+  }
+
+  template <class Pod>
+  std::vector<Pod> vector(std::string_view name) {
+    static_assert(std::is_trivially_copyable_v<Pod>);
+    const EncodedSection& s = section(name);
+    if (s.elem_size != sizeof(Pod) || s.payload.size() % sizeof(Pod) != 0)
+      throw RestoreError(RestoreErrorKind::ShapeMismatch,
+                         "section '" + s.name + "' is not an array of " +
+                             std::to_string(sizeof(Pod)) + "-byte elements");
+    std::vector<Pod> v(s.payload.size() / sizeof(Pod));
+    if (!v.empty()) std::memcpy(v.data(), s.payload.data(), s.payload.size());
+    return v;
+  }
+
+  /// Throws RestoreError{FingerprintMismatch} unless the file was written
+  /// by a matching deck/config.
+  void require_fingerprint(std::uint64_t expected) const;
+
+ private:
+  struct Slot {
+    EncodedSection section;  // payload filled+validated on first access
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    std::uint32_t crc = 0;
+    bool loaded = false;
+  };
+
+  FileHeader header_{};
+  std::vector<std::byte> data_;
+  std::vector<Slot> sections_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+  std::string path_;
+};
+
+}  // namespace vpic::ckpt

@@ -1,0 +1,33 @@
+#include "ckpt/format.hpp"
+
+namespace vpic::ckpt {
+
+const char* to_string(RestoreErrorKind k) noexcept {
+  switch (k) {
+    case RestoreErrorKind::IoError:
+      return "io-error";
+    case RestoreErrorKind::BadMagic:
+      return "bad-magic";
+    case RestoreErrorKind::BadVersion:
+      return "bad-version";
+    case RestoreErrorKind::HeaderCorrupt:
+      return "header-corrupt";
+    case RestoreErrorKind::TableCorrupt:
+      return "table-corrupt";
+    case RestoreErrorKind::Truncated:
+      return "truncated";
+    case RestoreErrorKind::SectionCorrupt:
+      return "section-corrupt";
+    case RestoreErrorKind::MissingSection:
+      return "missing-section";
+    case RestoreErrorKind::ShapeMismatch:
+      return "shape-mismatch";
+    case RestoreErrorKind::FingerprintMismatch:
+      return "fingerprint-mismatch";
+    case RestoreErrorKind::ManifestMismatch:
+      return "manifest-mismatch";
+  }
+  return "?";
+}
+
+}  // namespace vpic::ckpt

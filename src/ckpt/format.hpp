@@ -1,0 +1,136 @@
+// ckpt/format.hpp
+//
+// On-disk checkpoint format (docs/CHECKPOINT.md):
+//
+//   +--------------------+  offset 0
+//   | FileHeader (56 B)  |  magic, version, fingerprint, step,
+//   |                    |  table offset/size, table CRC, header CRC
+//   +--------------------+  header.table_offset
+//   | SectionRecord[n]   |  96 B each: name, elem size, rank, extents,
+//   |                    |  layout tag, payload offset/bytes/CRC
+//   +--------------------+
+//   | payloads           |  8-byte aligned, in table order
+//   +--------------------+  header.total_bytes
+//
+// Every layer carries its own CRC-32 so restore classifies damage into a
+// typed RestoreError instead of silently resuming from corrupt state:
+// header CRC covers the header, table CRC the whole section table, and
+// each payload its own bytes. `total_bytes` up front makes truncation
+// (the most common failure: a job killed mid-write that bypassed the
+// rename-commit) detectable before any payload is parsed.
+//
+// Numbers are stored in host byte order — checkpoints restart the run on
+// the machine (class) that wrote them, as with VPIC's own dumps.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace vpic::ckpt {
+
+/// "VPICCKP1" as a big-endian u64; any bit flip in it fails restore fast.
+inline constexpr std::uint64_t kMagic = 0x56504943434B5031ull;
+inline constexpr std::uint32_t kFormatVersion = 1;
+/// Section names are fixed-width in the table (NUL-padded).
+inline constexpr std::size_t kSectionNameMax = 31;
+/// Payloads are aligned so mapped or vector-loaded restores can cast.
+inline constexpr std::uint64_t kPayloadAlign = 8;
+
+struct FileHeader {
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kFormatVersion;
+  std::uint32_t section_count = 0;
+  std::uint64_t fingerprint = 0;  // deck/config identity (writer-defined)
+  std::int64_t step = 0;          // step count the state was captured at
+  std::uint64_t table_offset = 0;
+  std::uint64_t total_bytes = 0;  // full committed file size
+  std::uint32_t table_crc = 0;    // CRC of the section-table bytes
+  std::uint32_t header_crc = 0;   // CRC of this struct up to this field
+};
+static_assert(sizeof(FileHeader) == 56);
+/// Bytes of FileHeader covered by header_crc (everything before it).
+inline constexpr std::size_t kHeaderCrcBytes =
+    sizeof(FileHeader) - sizeof(std::uint32_t);
+
+/// Layout tags for encoded views ('R'/'L'); raw byte/pod sections use 0.
+inline constexpr std::uint8_t kLayoutRaw = 0;
+inline constexpr std::uint8_t kLayoutRight = 'R';
+inline constexpr std::uint8_t kLayoutLeft = 'L';
+
+struct SectionRecord {
+  char name[kSectionNameMax + 1] = {};  // NUL-terminated/padded
+  std::uint32_t elem_size = 1;
+  std::uint32_t rank = 0;  // 0 for raw bytes/pod sections
+  std::int64_t extents[4] = {};
+  std::uint8_t layout = kLayoutRaw;
+  std::uint8_t reserved[3] = {};
+  std::uint32_t payload_crc = 0;
+  std::uint64_t payload_offset = 0;
+  std::uint64_t payload_bytes = 0;
+};
+static_assert(sizeof(SectionRecord) == 96);
+
+/// Where a restore failed — each injected corruption mode maps to exactly
+/// one kind (tests/test_ckpt.cpp pins the mapping).
+enum class RestoreErrorKind : std::uint8_t {
+  IoError,              // file missing / unreadable / unwritable
+  BadMagic,             // not a checkpoint file (or magic damaged)
+  BadVersion,           // valid header from an unsupported format version
+  HeaderCorrupt,        // header CRC mismatch
+  TableCorrupt,         // section table CRC mismatch or out of bounds
+  Truncated,            // file shorter than header.total_bytes claims
+  SectionCorrupt,       // payload CRC mismatch (torn write, bit flip)
+  MissingSection,       // expected section absent
+  ShapeMismatch,        // section dtype/rank/extents disagree with target
+  FingerprintMismatch,  // checkpoint from a different deck/config
+  ManifestMismatch,     // distributed manifest disagrees (ranks, step)
+};
+
+const char* to_string(RestoreErrorKind k) noexcept;
+
+/// Typed restore failure. `kind()` drives the generation-ring fallback:
+/// any RestoreError on generation g means "try g-1", while non-ckpt
+/// exceptions propagate.
+class RestoreError : public std::runtime_error {
+ public:
+  RestoreError(RestoreErrorKind kind, const std::string& what)
+      : std::runtime_error(std::string(to_string(kind)) + ": " + what),
+        kind_(kind) {}
+
+  [[nodiscard]] RestoreErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  RestoreErrorKind kind_;
+};
+
+/// FNV-1a 64-bit accumulator for the deck/config fingerprint. Feed the
+/// physics-relevant knobs (grid, dt, strategy, seed, species identities);
+/// execution details (scheduler, instance counts) stay out so a restore
+/// may legally change them.
+class Fingerprint {
+ public:
+  void add_bytes(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001B3ull;
+    }
+  }
+  template <class Pod>
+  void add(const Pod& v) noexcept {
+    static_assert(std::is_trivially_copyable_v<Pod>);
+    add_bytes(&v, sizeof(Pod));
+  }
+  void add_string(const std::string& s) noexcept {
+    const std::uint64_t n = s.size();
+    add(n);
+    add_bytes(s.data(), s.size());
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ull;
+};
+
+}  // namespace vpic::ckpt

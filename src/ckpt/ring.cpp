@@ -1,0 +1,66 @@
+#include "ckpt/ring.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+namespace vpic::ckpt {
+
+namespace fs = std::filesystem;
+
+GenerationRing::GenerationRing(std::string base, int keep_last)
+    : base_(std::move(base)), keep_last_(std::max(1, keep_last)) {}
+
+std::string GenerationRing::path_for(std::uint64_t gen) const {
+  return base_ + ".g" + std::to_string(gen);
+}
+
+std::vector<std::uint64_t> GenerationRing::generations() const {
+  const fs::path base(base_);
+  const fs::path dir =
+      base.has_parent_path() ? base.parent_path() : fs::path(".");
+  const std::string prefix = base.filename().string() + ".g";
+
+  std::vector<std::uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0)
+      continue;
+    const std::string tail = name.substr(prefix.size());
+    if (tail.empty() ||
+        tail.find_first_not_of("0123456789") != std::string::npos)
+      continue;  // skips ".tmp" suffixes and unrelated files
+    gens.push_back(std::strtoull(tail.c_str(), nullptr, 10));
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+std::uint64_t GenerationRing::next_generation() const {
+  const auto gens = generations();
+  return gens.empty() ? 0 : gens.back() + 1;
+}
+
+void GenerationRing::prune() const {
+  const auto gens = generations();
+  std::error_code ec;
+  if (gens.size() > static_cast<std::size_t>(keep_last_)) {
+    const std::size_t drop = gens.size() - static_cast<std::size_t>(keep_last_);
+    for (std::size_t i = 0; i < drop; ++i) fs::remove(path_for(gens[i]), ec);
+  }
+  // Stale .tmp files are uncommitted wrecks from a crash mid-write.
+  const fs::path base(base_);
+  const fs::path dir =
+      base.has_parent_path() ? base.parent_path() : fs::path(".");
+  const std::string prefix = base.filename().string() + ".g";
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > prefix.size() + 4 &&
+        name.compare(0, prefix.size(), prefix) == 0 &&
+        name.compare(name.size() - 4, 4, ".tmp") == 0)
+      fs::remove(entry.path(), ec);
+  }
+}
+
+}  // namespace vpic::ckpt

@@ -1,0 +1,47 @@
+// ckpt/ring.hpp
+//
+// Generation ring: periodic checkpoints write `<base>.g<N>` with a
+// monotonically increasing generation number, keeping only the newest
+// `keep_last` files. Combined with the writer's rename-commit this gives
+// the classic fault-tolerance ladder (docs/CHECKPOINT.md):
+//
+//   * a crash mid-write leaves the previous generations untouched,
+//   * a corrupted newest generation (detected by the reader's CRCs as a
+//     typed RestoreError) falls back to the one before it,
+//   * restore_latest() walks generations newest-first until one restores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vpic::ckpt {
+
+class GenerationRing {
+ public:
+  /// `base` may include directories ("out/ckpt"); generation files are
+  /// siblings named "<base>.g<N>". keep_last < 1 is clamped to 1.
+  explicit GenerationRing(std::string base, int keep_last = 3);
+
+  [[nodiscard]] const std::string& base() const noexcept { return base_; }
+  [[nodiscard]] int keep_last() const noexcept { return keep_last_; }
+
+  [[nodiscard]] std::string path_for(std::uint64_t gen) const;
+
+  /// Committed generation numbers found on disk, ascending. Stale .tmp
+  /// files (a crash mid-write) are ignored.
+  [[nodiscard]] std::vector<std::uint64_t> generations() const;
+
+  /// Next generation number to write (max existing + 1, or 0).
+  [[nodiscard]] std::uint64_t next_generation() const;
+
+  /// Delete committed generations beyond the newest keep_last, plus any
+  /// stale .tmp leftovers. Best-effort: removal errors are ignored.
+  void prune() const;
+
+ private:
+  std::string base_;
+  int keep_last_;
+};
+
+}  // namespace vpic::ckpt

@@ -1,0 +1,410 @@
+// core/checkpoint.cpp
+//
+// Checkpoint/restore integration for Simulation and DistributedSimulation
+// over the vpic::ckpt subsystem (src/ckpt, docs/CHECKPOINT.md).
+//
+// What a checkpoint holds: the nine Yee field components, the
+// interpolator and accumulator arrays, every species' live particle
+// records (prefix-encoded to np) plus its sortedness metadata, the
+// energy-history diagnostics, and the step count — everything needed for
+// a restored run to continue bit-identically to one that never stopped.
+// Interpolators/accumulators are recomputed at the top of every step, so
+// serializing them is belt-and-braces for mid-phase captures rather than
+// a bit-identity requirement.
+//
+// Restore order is validate-then-mutate: the file envelope, the config
+// fingerprint, and every payload CRC are checked before a single byte of
+// live state changes, so a corrupt file throws a typed RestoreError and
+// leaves the simulation untouched (the generation-ring fallback then
+// tries the previous file).
+
+#include <filesystem>
+
+#include "ckpt/ckpt.hpp"
+#include "core/domain.hpp"
+#include "core/simulation.hpp"
+#include "prof/prof.hpp"
+
+namespace vpic::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Per-species scalar state riding alongside the particle payload.
+/// Padding is explicit and zeroed: add_pod serializes the raw object
+/// bytes, and implicit padding would leak indeterminate stack bytes into
+/// the file (breaking byte-level reproducibility of checkpoints).
+struct SpeciesMeta {
+  std::int64_t np = 0;
+  float q = 0, m = 0;
+  std::int32_t steps_since_sort = -1;
+  std::uint8_t cell_sorted_hint = 0;
+  std::uint8_t pad_[3] = {0, 0, 0};
+};
+static_assert(sizeof(SpeciesMeta) == 24, "no implicit padding allowed");
+
+/// Per-rank scalar state of a DistributedSimulation.
+struct RankMeta {
+  std::int64_t z_offset = 0;
+  std::int64_t exchanged = 0;
+  std::uint64_t current_species = 0;
+};
+static_assert(sizeof(RankMeta) == 24, "no implicit padding allowed");
+
+std::string species_prefix(std::size_t i) {
+  return "sp" + std::to_string(i) + ".";
+}
+
+// The engine-state section set is shared between the single-node and the
+// per-rank distributed checkpoints: fields, interpolator, accumulator,
+// and every species (particles + metadata + name).
+void add_engine_sections(ckpt::FileWriter& w, const FieldArray& f,
+                         const InterpolatorArray& interp,
+                         const AccumulatorArray& acc,
+                         const std::vector<Species>& species) {
+  w.add_view("f.ex", f.ex);
+  w.add_view("f.ey", f.ey);
+  w.add_view("f.ez", f.ez);
+  w.add_view("f.bx", f.bx);
+  w.add_view("f.by", f.by);
+  w.add_view("f.bz", f.bz);
+  w.add_view("f.jx", f.jx);
+  w.add_view("f.jy", f.jy);
+  w.add_view("f.jz", f.jz);
+  w.add_view("interp", interp.data);
+  w.add_view("acc", acc.a);
+
+  w.add_pod("nspecies", static_cast<std::uint64_t>(species.size()));
+  for (std::size_t i = 0; i < species.size(); ++i) {
+    const Species& sp = species[i];
+    const std::string pfx = species_prefix(i);
+    w.add_bytes(pfx + "name", sp.name.data(), sp.name.size());
+    SpeciesMeta meta;
+    meta.np = sp.np;
+    meta.q = sp.q;
+    meta.m = sp.m;
+    meta.steps_since_sort = sp.steps_since_sort;
+    meta.cell_sorted_hint = sp.cell_sorted_hint ? 1 : 0;
+    w.add_pod(pfx + "meta", meta);
+    // Prefix-encode: only the np live records, not the slack capacity.
+    w.add_view(pfx + "p", sp.p, sp.np);
+  }
+}
+
+void read_engine_sections(ckpt::FileReader& f, FieldArray& fld,
+                          InterpolatorArray& interp, AccumulatorArray& acc,
+                          std::vector<Species>& species) {
+  const auto nsp = f.pod<std::uint64_t>("nspecies");
+  if (nsp != species.size())
+    throw ckpt::RestoreError(
+        ckpt::RestoreErrorKind::ShapeMismatch,
+        "checkpoint holds " + std::to_string(nsp) +
+            " species, simulation has " + std::to_string(species.size()));
+
+  f.read_view("f.ex", fld.ex);
+  f.read_view("f.ey", fld.ey);
+  f.read_view("f.ez", fld.ez);
+  f.read_view("f.bx", fld.bx);
+  f.read_view("f.by", fld.by);
+  f.read_view("f.bz", fld.bz);
+  f.read_view("f.jx", fld.jx);
+  f.read_view("f.jy", fld.jy);
+  f.read_view("f.jz", fld.jz);
+  f.read_view("interp", interp.data);
+  f.read_view("acc", acc.a);
+
+  for (std::size_t i = 0; i < species.size(); ++i) {
+    Species& sp = species[i];
+    const std::string pfx = species_prefix(i);
+    const ckpt::EncodedSection& name = f.section(pfx + "name");
+    const std::string file_name(
+        reinterpret_cast<const char*>(name.payload.data()),
+        name.payload.size());
+    if (file_name != sp.name)
+      throw ckpt::RestoreError(ckpt::RestoreErrorKind::ShapeMismatch,
+                               "species " + std::to_string(i) + " is '" +
+                                   sp.name + "', checkpoint holds '" +
+                                   file_name + "'");
+    const auto meta = f.pod<SpeciesMeta>(pfx + "meta");
+    if (meta.np < 0)
+      throw ckpt::RestoreError(ckpt::RestoreErrorKind::ShapeMismatch,
+                               "negative particle count in '" + sp.name + "'");
+    if (meta.np > sp.capacity())
+      sp.p = pk::View<Particle, 1>("particles_" + sp.name, meta.np);
+    f.read_view(pfx + "p", sp.p);
+    sp.np = meta.np;
+    sp.q = meta.q;
+    sp.m = meta.m;
+    sp.steps_since_sort = meta.steps_since_sort;
+    sp.cell_sorted_hint = meta.cell_sorted_hint != 0;
+    // The reorder scratch and run segmentation are rebuilt on demand.
+    sp.push_runs.clear();
+  }
+}
+
+void add_history_sections(ckpt::FileWriter& w, const EnergyHistory& h) {
+  std::vector<std::int64_t> steps;
+  std::vector<double> field;
+  std::vector<std::uint64_t> counts;
+  std::vector<double> ke;
+  steps.reserve(h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    steps.push_back(h.step(i));
+    field.push_back(h.field(i));
+    counts.push_back(h.species_count(i));
+    for (std::size_t s = 0; s < h.species_count(i); ++s)
+      ke.push_back(h.species_ke(i, s));
+  }
+  w.add_vector("diag.steps", steps);
+  w.add_vector("diag.field", field);
+  w.add_vector("diag.counts", counts);
+  w.add_vector("diag.ke", ke);
+}
+
+void read_history_sections(ckpt::FileReader& f, EnergyHistory& h) {
+  const auto steps = f.vector<std::int64_t>("diag.steps");
+  const auto field = f.vector<double>("diag.field");
+  const auto counts = f.vector<std::uint64_t>("diag.counts");
+  const auto ke = f.vector<double>("diag.ke");
+  if (field.size() != steps.size() || counts.size() != steps.size())
+    throw ckpt::RestoreError(ckpt::RestoreErrorKind::ShapeMismatch,
+                             "energy-history sections disagree on row count");
+  h.clear();
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (cursor + counts[i] > ke.size())
+      throw ckpt::RestoreError(ckpt::RestoreErrorKind::ShapeMismatch,
+                               "energy-history ke section too short");
+    std::vector<double> row(ke.begin() + static_cast<std::ptrdiff_t>(cursor),
+                            ke.begin() + static_cast<std::ptrdiff_t>(
+                                             cursor + counts[i]));
+    cursor += counts[i];
+    h.record(steps[i], field[i], row);
+  }
+  if (cursor != ke.size())
+    throw ckpt::RestoreError(ckpt::RestoreErrorKind::ShapeMismatch,
+                             "energy-history ke section too long");
+}
+
+}  // namespace
+
+// ---- Simulation ------------------------------------------------------
+
+std::uint64_t Simulation::config_fingerprint() const {
+  ckpt::Fingerprint fp;
+  const Grid& g = fields_.grid;
+  fp.add(g.nx);
+  fp.add(g.ny);
+  fp.add(g.nz);
+  fp.add(g.dx);
+  fp.add(g.dy);
+  fp.add(g.dz);
+  fp.add(g.dt);
+  fp.add(g.x0);
+  fp.add(g.y0);
+  fp.add(g.z0);
+  fp.add(g.cvac);
+  fp.add(static_cast<std::uint32_t>(cfg_.strategy));
+  fp.add(static_cast<std::uint32_t>(cfg_.push_path));
+  fp.add(static_cast<std::uint32_t>(cfg_.sort_order));
+  fp.add(cfg_.sort_interval);
+  fp.add(cfg_.sort_tile);
+  fp.add(cfg_.energy_interval);
+  fp.add(cfg_.seed);
+  for (const auto& sp : species_) {
+    fp.add_string(sp.name);
+    fp.add(sp.q);
+    fp.add(sp.m);
+  }
+  return fp.value();
+}
+
+std::uint64_t Simulation::checkpoint(const std::string& path) {
+  prof::ScopedRegion r("ckpt");
+  ckpt::FileWriter w;
+  {
+    prof::ScopedRegion enc("ckpt_encode");
+    add_engine_sections(w, fields_, interp_, acc_, species_);
+    add_history_sections(w, energy_history_);
+  }
+  const std::uint64_t bytes = w.commit(path, config_fingerprint(), step_count_);
+  ++ckpt_written_;
+  return bytes;
+}
+
+void Simulation::checkpoint_async(const std::string& path) {
+  prof::ScopedRegion r("ckpt_async");
+  if (!ckpt_instance_) ckpt_instance_.emplace();
+  // Double buffer: at most two detached snapshots queued behind the
+  // background instance; a third submission waits for the queue to drain
+  // (bounding memory at 2x the engine state).
+  if (ckpt_inflight_->load(std::memory_order_acquire) >= 2)
+    ckpt_instance_->fence();
+
+  auto w = std::make_shared<ckpt::FileWriter>();
+  {
+    // This encode IS the snapshot: encode_view deep-copies every payload,
+    // so once it returns the writer is independent of the live state and
+    // stepping may continue while the file is written behind it.
+    prof::ScopedRegion enc("ckpt_encode");
+    add_engine_sections(*w, fields_, interp_, acc_, species_);
+    add_history_sections(*w, energy_history_);
+  }
+  const std::uint64_t fp = config_fingerprint();
+  const std::int64_t step = step_count_;
+  ckpt_inflight_->fetch_add(1, std::memory_order_acq_rel);
+  auto inflight = ckpt_inflight_;
+  pk::async(*ckpt_instance_, "ckpt_write", [w, path, fp, step, inflight] {
+    // Decrement even when commit throws (the exception is deferred to the
+    // next fence, pk::Instance semantics).
+    struct Done {
+      std::shared_ptr<std::atomic<int>> c;
+      ~Done() { c->fetch_sub(1, std::memory_order_acq_rel); }
+    } done{inflight};
+    w->commit(path, fp, step);
+  });
+  ++ckpt_written_;
+}
+
+void Simulation::checkpoint_wait() {
+  if (ckpt_instance_) ckpt_instance_->fence();
+}
+
+void Simulation::restore(const std::string& path) {
+  prof::ScopedRegion r("ckpt_restore");
+  ckpt::FileReader f(path);
+  f.require_fingerprint(config_fingerprint());
+  f.validate_all();
+  read_engine_sections(f, fields_, interp_, acc_, species_);
+  read_history_sections(f, energy_history_);
+  step_count_ = f.step();
+}
+
+std::string Simulation::restore_latest(const std::string& base) {
+  ckpt::GenerationRing ring(base, cfg_.checkpoint_keep_last);
+  const auto gens = ring.generations();
+  std::optional<ckpt::RestoreError> newest_failure;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    const std::string path = ring.path_for(*it);
+    try {
+      restore(path);
+      return path;
+    } catch (const ckpt::RestoreError& e) {
+      // Fall back to the previous generation; report the newest failure
+      // if the whole ring is bad (it is the most actionable one).
+      if (!newest_failure) newest_failure = e;
+    }
+  }
+  if (newest_failure) throw *newest_failure;
+  throw ckpt::RestoreError(ckpt::RestoreErrorKind::IoError,
+                           "no checkpoint generations at '" + base + "'");
+}
+
+void Simulation::checkpoint_to_ring() {
+  prof::ScopedRegion r("ckpt_ring");
+  ckpt::GenerationRing ring(cfg_.checkpoint_path, cfg_.checkpoint_keep_last);
+  const std::string path = ring.path_for(ring.next_generation());
+  if (cfg_.checkpoint_async) {
+    checkpoint_async(path);
+  } else {
+    checkpoint(path);
+  }
+  // Prune sees only committed files: an async generation still being
+  // written has not been renamed into place yet, and the next sync prune
+  // catches it.
+  ring.prune();
+}
+
+// ---- DistributedSimulation -------------------------------------------
+
+std::uint64_t DistributedSimulation::config_fingerprint() const {
+  ckpt::Fingerprint fp;
+  fp.add(cfg_.nx);
+  fp.add(cfg_.ny);
+  fp.add(cfg_.nz);
+  fp.add(cfg_.lx);
+  fp.add(cfg_.ly);
+  fp.add(cfg_.lz);
+  fp.add(cfg_.dt);
+  fp.add(static_cast<std::uint32_t>(cfg_.strategy));
+  fp.add(cfg_.seed);
+  fp.add(static_cast<std::uint8_t>(cfg_.overlap ? 1 : 0));
+  fp.add(comm_.size());
+  for (const auto& sp : species_) {
+    fp.add_string(sp.name);
+    fp.add(sp.q);
+    fp.add(sp.m);
+  }
+  return fp.value();
+}
+
+void DistributedSimulation::checkpoint(const std::string& dir) {
+  prof::ScopedRegion r("ckpt_dist");
+  const std::uint64_t fp = config_fingerprint();
+  if (comm_.rank() == 0) {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+  }
+  comm_.barrier();  // directory exists before anyone writes into it
+
+  ckpt::FileWriter w;
+  add_engine_sections(w, fields_, interp_, acc_, species_);
+  RankMeta meta;
+  meta.z_offset = z_offset_;
+  meta.exchanged = exchanged_;
+  meta.current_species = current_species_;
+  w.add_pod("rank.meta", meta);
+  w.commit(dir + "/rank" + std::to_string(comm_.rank()) + ".ckpt", fp,
+           step_count_);
+
+  comm_.barrier();  // every rank file is committed...
+  if (comm_.rank() == 0) {
+    // ...before the manifest makes the set restorable: a crash beforehand
+    // leaves a manifest-less directory that restore() rejects whole.
+    ckpt::FileWriter m;
+    m.add_pod("manifest.nranks", static_cast<std::int64_t>(comm_.size()));
+    m.commit(dir + "/manifest.ckpt", fp, step_count_);
+  }
+  comm_.barrier();
+}
+
+void DistributedSimulation::restore(const std::string& dir) {
+  prof::ScopedRegion r("ckpt_dist_restore");
+  const std::uint64_t fp = config_fingerprint();
+
+  // Every rank reads the shared manifest (in-process ranks share the
+  // filesystem) and validates the set before touching its own file.
+  ckpt::FileReader manifest(dir + "/manifest.ckpt");
+  manifest.require_fingerprint(fp);
+  const auto nranks = manifest.pod<std::int64_t>("manifest.nranks");
+  if (nranks != comm_.size())
+    throw ckpt::RestoreError(ckpt::RestoreErrorKind::ManifestMismatch,
+                             "checkpoint was written by " +
+                                 std::to_string(nranks) + " ranks, comm has " +
+                                 std::to_string(comm_.size()));
+
+  ckpt::FileReader f(dir + "/rank" + std::to_string(comm_.rank()) + ".ckpt");
+  f.require_fingerprint(fp);
+  if (f.step() != manifest.step())
+    throw ckpt::RestoreError(
+        ckpt::RestoreErrorKind::ManifestMismatch,
+        "rank file is from step " + std::to_string(f.step()) +
+            ", manifest says " + std::to_string(manifest.step()));
+  f.validate_all();
+
+  read_engine_sections(f, fields_, interp_, acc_, species_);
+  const auto meta = f.pod<RankMeta>("rank.meta");
+  if (meta.z_offset != z_offset_)
+    throw ckpt::RestoreError(ckpt::RestoreErrorKind::ManifestMismatch,
+                             "rank file holds slab offset " +
+                                 std::to_string(meta.z_offset) +
+                                 ", this rank is at " +
+                                 std::to_string(z_offset_));
+  exchanged_ = meta.exchanged;
+  current_species_ = static_cast<std::size_t>(meta.current_species);
+  step_count_ = f.step();
+  comm_.barrier();  // nobody resumes stepping until every rank restored
+}
+
+}  // namespace vpic::core

@@ -38,6 +38,20 @@ class EnergyHistory {
   /// "step,field,ke_0,...,ke_n,total" rows.
   [[nodiscard]] std::string to_csv() const;
 
+  // Row-level access + rebuild, used by the checkpoint serializer
+  // (core/checkpoint.cpp) to round-trip the history bit-exactly.
+  [[nodiscard]] std::size_t species_count(std::size_t i) const {
+    return species_[i].size();
+  }
+  [[nodiscard]] double species_ke(std::size_t i, std::size_t s) const {
+    return species_[i][s];
+  }
+  void clear() {
+    steps_.clear();
+    field_.clear();
+    species_.clear();
+  }
+
  private:
   std::vector<std::int64_t> steps_;
   std::vector<double> field_;

@@ -95,6 +95,29 @@ class DistributedSimulation {
     return cfg_.overlap && cfg_.strategy != VectorStrategy::AdHoc;
   }
 
+  // ---- checkpoint/restart (docs/CHECKPOINT.md, core/checkpoint.cpp) --
+
+  /// Coordinated checkpoint into directory `dir`: every rank commits
+  /// "rank<r>.ckpt" with its local slab state, then — after a barrier
+  /// proving all per-rank files landed — rank 0 commits "manifest.ckpt"
+  /// (rank count + step). A crash at any point leaves either the previous
+  /// checkpoint directory intact or a manifest-less partial one that
+  /// restore() rejects as a whole.
+  void checkpoint(const std::string& dir);
+
+  /// Restore every rank from `dir`. Validates the manifest (rank count,
+  /// config fingerprint) and each per-rank file (fingerprint, step
+  /// agreement with the manifest, slab offset) before mutating state;
+  /// throws ckpt::RestoreError on any mismatch or corruption.
+  void restore(const std::string& dir);
+
+  /// Fingerprint of the physics-defining configuration (DomainConfig,
+  /// rank count, species identities); per-rank and manifest files share
+  /// it, so a restore against the wrong deck or rank layout is typed.
+  [[nodiscard]] std::uint64_t config_fingerprint() const;
+
+  [[nodiscard]] std::int64_t step_count() const { return step_count_; }
+
  private:
   /// In-flight z-halo exchange: pack buffers plus the two pending
   /// receives ([0] from prev_, [1] from next_). Sends are buffered and

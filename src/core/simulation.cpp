@@ -110,6 +110,7 @@ void Simulation::step_sequential() {
                      cfg_.seed + static_cast<std::uint64_t>(step_count_),
                      fields_.grid.nv());
   }
+  if (checkpoint_due(step_count_)) checkpoint_to_ring();
 }
 
 // Express the step as a validated StepGraph. Every edge below orders a
@@ -210,6 +211,7 @@ StepGraph Simulation::build_step_graph(std::int64_t next_step) {
     g.add_edge(tail, "diagnostics");
     tail = "diagnostics";
   }
+  std::vector<std::string> sort_names;
   if (cfg_.sort_interval > 0 && next_step % cfg_.sort_interval == 0) {
     std::uint32_t tile = cfg_.sort_tile;
     if (tile == 0)
@@ -228,7 +230,24 @@ StepGraph Simulation::build_step_graph(std::int64_t next_step) {
                          fields_.grid.nv());
                    }});
       g.add_edge(tail, name);
+      sort_names.push_back(std::move(name));
     }
+  }
+  if (checkpoint_due(next_step)) {
+    // The snapshot reads everything it serializes; declaring the full
+    // read set lets validate() prove the capture cannot race a sort (or
+    // anything else) still in flight. The sort edges order the
+    // particle-resource conflicts to match the sequential tail, which
+    // checkpoints after sorting.
+    std::vector<std::string> rd{"fields.eb", "fields.j", "interp", "acc",
+                                "diag"};
+    rd.insert(rd.end(), particle_res.begin(), particle_res.end());
+    g.add_phase({"ckpt",
+                 std::move(rd),
+                 {"ckpt"},
+                 [this] { checkpoint_to_ring(); }});
+    g.add_edge(tail, "ckpt");
+    for (const auto& sn : sort_names) g.add_edge(sn, "ckpt");
   }
   return g;
 }

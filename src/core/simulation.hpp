@@ -13,7 +13,10 @@
 // benchmark harnesses sweep.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +29,7 @@
 #include "core/push.hpp"
 #include "core/sort_particles.hpp"
 #include "core/step_graph.hpp"
+#include "pk/instance.hpp"
 #include "prof/prof.hpp"
 
 namespace vpic::core {
@@ -70,6 +74,15 @@ struct SimulationConfig {
   // Concurrent phase limit (pk::Instance pool size) for the Graph
   // scheduler.
   std::size_t graph_instances = 2;
+  // Periodic checkpointing (docs/CHECKPOINT.md), off by default: every
+  // `checkpoint_every` steps write a generation "<checkpoint_path>.g<N>"
+  // keeping the newest `checkpoint_keep_last` files. With
+  // `checkpoint_async` the snapshot is deep-copied and written on a
+  // background pk::Instance so stepping continues immediately.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  int checkpoint_keep_last = 3;
+  bool checkpoint_async = false;
 };
 
 struct EnergyReport {
@@ -178,10 +191,57 @@ class Simulation {
     return last_concurrency_peak_;
   }
 
+  // ---- checkpoint/restart (docs/CHECKPOINT.md, src/ckpt) -------------
+
+  /// Serialize the full state (fields, interpolators, accumulators, every
+  /// species' live particles + sortedness metadata, diagnostics history,
+  /// step count) to `path` with a rename-commit. Returns the committed
+  /// file size in bytes.
+  std::uint64_t checkpoint(const std::string& path);
+
+  /// Asynchronous checkpoint: deep-copies the state into one of two
+  /// snapshot buffers *now* (stepping may resume as soon as this returns)
+  /// and commits the file on a dedicated background pk::Instance. At most
+  /// two snapshots are in flight; a third call waits for the oldest.
+  void checkpoint_async(const std::string& path);
+
+  /// Block until every pending asynchronous checkpoint has committed
+  /// (rethrows a deferred write failure, pk::Instance semantics).
+  void checkpoint_wait();
+
+  /// Restore full state from `path` into this simulation. The simulation
+  /// must be built from the same deck/config: the checkpoint's config
+  /// fingerprint is verified first. Throws ckpt::RestoreError (typed,
+  /// see ckpt/format.hpp) on any mismatch or corruption; the simulation
+  /// is only mutated after the file fully validates.
+  void restore(const std::string& path);
+
+  /// Restore from the newest valid generation of the ring at `base`
+  /// (falling back generation by generation past corrupt/partial files).
+  /// Returns the path actually restored from.
+  std::string restore_latest(const std::string& base);
+
+  /// FNV-1a fingerprint of the physics-defining configuration (grid, dt,
+  /// strategy, sort plan, seed, species identities). Execution details
+  /// (scheduler, instance counts, checkpoint knobs) are excluded so a
+  /// restore may change them.
+  [[nodiscard]] std::uint64_t config_fingerprint() const;
+
+  /// Checkpoints committed by this simulation (sync + async) so far.
+  [[nodiscard]] std::int64_t checkpoints_written() const {
+    return ckpt_written_;
+  }
+
  private:
   void step_sequential();
   void step_graph_exec();
   [[nodiscard]] StepGraph build_step_graph(std::int64_t next_step);
+  /// Write the next ring generation per the config (sync or async).
+  void checkpoint_to_ring();
+  [[nodiscard]] bool checkpoint_due(std::int64_t at_step) const {
+    return cfg_.checkpoint_every > 0 && !cfg_.checkpoint_path.empty() &&
+           at_step % cfg_.checkpoint_every == 0;
+  }
   SimulationConfig cfg_;
   FieldArray fields_;
   InterpolatorArray interp_;
@@ -197,6 +257,14 @@ class Simulation {
   double sort_seconds_ = 0;
   std::vector<PhaseStats> last_phase_stats_;
   std::size_t last_concurrency_peak_ = 0;
+  // Async checkpoint machinery (core/checkpoint.cpp): a lazily created
+  // background writer instance plus an in-flight count bounding the
+  // double buffer. The shared_ptr keeps the count alive for write tasks
+  // still queued when the Simulation dies (the instance dtor fences).
+  std::optional<pk::Instance<>> ckpt_instance_;
+  std::shared_ptr<std::atomic<int>> ckpt_inflight_ =
+      std::make_shared<std::atomic<int>>(0);
+  std::int64_t ckpt_written_ = 0;
 };
 
 }  // namespace vpic::core

@@ -1,0 +1,655 @@
+// Tests for vpic::ckpt (src/ckpt) and its Simulation integration
+// (core/checkpoint.cpp, docs/CHECKPOINT.md):
+//
+//   * View serializer round trips (prefix encoding, shape validation),
+//   * checkpoint file envelope + typed corruption detection — every
+//     FaultInjector mode is pinned to the RestoreError kind restore must
+//     classify it as,
+//   * generation ring naming/pruning and corrupt-newest fallback,
+//   * bit-identical resume: 50 steps + checkpoint + restore + 50 steps
+//     equals 100 uninterrupted steps on the LPI deck,
+//   * async snapshots: file bytes identical to a sync checkpoint taken at
+//     the same step, isolated from subsequent stepping,
+//   * config-driven periodic checkpointing under both step schedulers,
+//   * coordinated DistributedSimulation checkpoint/restore.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/ckpt.hpp"
+#include "core/core.hpp"
+#include "minimpi/minimpi.hpp"
+
+namespace core = vpic::core;
+namespace ckpt = vpic::ckpt;
+namespace mpi = vpic::mpi;
+namespace pk = vpic::pk;
+namespace fs = std::filesystem;
+using pk::index_t;
+
+namespace {
+
+class PkEnv : public ::testing::Environment {
+ public:
+  // One kernel thread: the bit-identity suites compare raw bytes, and
+  // with >1 OpenMP threads the float-atomic current deposits are
+  // nondeterministic even between two sequential runs. Instance worker
+  // threads (graph scheduler, async checkpoint writer) are independent of
+  // this setting.
+  void SetUp() override { pk::initialize(1); }
+};
+[[maybe_unused]] const auto* const env =
+    ::testing::AddGlobalTestEnvironment(new PkEnv);
+
+/// Fresh unique scratch directory under the gtest temp dir.
+fs::path scratch(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("vpic_ckpt_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Small LPI deck (the issue's bit-identity workload) with energy
+/// diagnostics on, cheap enough for 100-step test runs.
+core::Simulation make_lpi_small(std::uint64_t seed = 42) {
+  core::decks::LpiParams p;
+  p.nx = 12;
+  p.ny = 4;
+  p.nz = 4;
+  p.ppc = 2;
+  p.sort_interval = 10;
+  p.seed = seed;
+  auto sim = core::decks::make_lpi(p);
+  sim.config().energy_interval = 5;
+  return sim;
+}
+
+std::vector<std::byte> view_bytes(const pk::View<float, 1>& v) {
+  std::vector<std::byte> b(static_cast<std::size_t>(v.size()) *
+                           sizeof(float));
+  std::memcpy(b.data(), v.data(), b.size());
+  return b;
+}
+
+void expect_bit_identical(core::Simulation& a, core::Simulation& b) {
+  EXPECT_EQ(a.step_count(), b.step_count());
+  const auto& fa = a.fields();
+  const auto& fb = b.fields();
+  EXPECT_EQ(view_bytes(fa.ex), view_bytes(fb.ex));
+  EXPECT_EQ(view_bytes(fa.ey), view_bytes(fb.ey));
+  EXPECT_EQ(view_bytes(fa.ez), view_bytes(fb.ez));
+  EXPECT_EQ(view_bytes(fa.bx), view_bytes(fb.bx));
+  EXPECT_EQ(view_bytes(fa.by), view_bytes(fb.by));
+  EXPECT_EQ(view_bytes(fa.bz), view_bytes(fb.bz));
+  EXPECT_EQ(view_bytes(fa.jx), view_bytes(fb.jx));
+  EXPECT_EQ(view_bytes(fa.jy), view_bytes(fb.jy));
+  EXPECT_EQ(view_bytes(fa.jz), view_bytes(fb.jz));
+  ASSERT_EQ(a.num_species(), b.num_species());
+  for (std::size_t s = 0; s < a.num_species(); ++s) {
+    const auto& sa = a.species(s);
+    const auto& sb = b.species(s);
+    ASSERT_EQ(sa.np, sb.np) << "species " << sa.name;
+    EXPECT_EQ(std::memcmp(sa.p.data(), sb.p.data(),
+                          static_cast<std::size_t>(sa.np) *
+                              sizeof(core::Particle)),
+              0)
+        << "species " << sa.name << " particle bytes differ";
+  }
+  EXPECT_EQ(a.energy_history().to_csv(), b.energy_history().to_csv());
+}
+
+std::vector<std::byte> slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::vector<char> c((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::vector<std::byte> b(c.size());
+  std::memcpy(b.data(), c.data(), c.size());
+  return b;
+}
+
+/// Write a small standalone checkpoint file (no simulation needed) for
+/// the envelope / corruption tests.
+void write_sample(const std::string& path, std::uint64_t fingerprint = 7,
+                  std::int64_t step = 3) {
+  ckpt::FileWriter w;
+  pk::View<float, 1> v("v", 64);
+  for (index_t i = 0; i < v.size(); ++i)
+    v(i) = static_cast<float>(i) * 0.5f;
+  w.add_view("alpha", v);
+  std::vector<double> d(32, 1.25);
+  w.add_vector("beta", d);
+  w.add_pod("gamma", std::int64_t{42});
+  w.commit(path, fingerprint, step);
+}
+
+/// Run `f`, expecting it to throw RestoreError; return the kind.
+template <class F>
+ckpt::RestoreErrorKind thrown_kind(F&& f) {
+  try {
+    f();
+  } catch (const ckpt::RestoreError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected a ckpt::RestoreError";
+  return ckpt::RestoreErrorKind::IoError;
+}
+
+}  // namespace
+
+// ---- serializer ------------------------------------------------------
+
+TEST(Serialize, Rank1RoundTrip) {
+  pk::View<float, 1> v("v", 17);
+  for (index_t i = 0; i < v.size(); ++i) v(i) = 3.0f * static_cast<float>(i);
+  const auto s = ckpt::encode_view("v", v);
+  EXPECT_EQ(s.elem_size, sizeof(float));
+  EXPECT_EQ(s.rank, 1u);
+  EXPECT_EQ(s.extents[0], 17);
+  const auto back = ckpt::decode_view<float, 1>(s);
+  ASSERT_EQ(back.size(), v.size());
+  for (index_t i = 0; i < v.size(); ++i) EXPECT_EQ(back(i), v(i));
+}
+
+TEST(Serialize, Rank2RoundTripBothLayouts) {
+  pk::View<double, 2> r("r", 5, 7);
+  pk::View<double, 2, pk::LayoutLeft> l("l", 5, 7);
+  for (index_t i = 0; i < 5; ++i)
+    for (index_t j = 0; j < 7; ++j) {
+      r(i, j) = static_cast<double>(10 * i + j);
+      l(i, j) = static_cast<double>(10 * i + j);
+    }
+  const auto sr = ckpt::encode_view("r", r);
+  const auto sl = ckpt::encode_view("l", l);
+  EXPECT_EQ(sr.layout, ckpt::kLayoutRight);
+  EXPECT_EQ(sl.layout, ckpt::kLayoutLeft);
+  const auto br = ckpt::decode_view<double, 2>(sr);
+  const auto bl = ckpt::decode_view<double, 2, pk::LayoutLeft>(sl);
+  for (index_t i = 0; i < 5; ++i)
+    for (index_t j = 0; j < 7; ++j) {
+      EXPECT_EQ(br(i, j), r(i, j));
+      EXPECT_EQ(bl(i, j), l(i, j));
+    }
+}
+
+TEST(Serialize, PrefixEncodingAndLargerDestination) {
+  pk::View<std::int32_t, 1> v("v", 100);
+  for (index_t i = 0; i < v.size(); ++i) v(i) = static_cast<std::int32_t>(i);
+  const auto s = ckpt::encode_view("v", v, /*count=*/10);
+  EXPECT_EQ(s.extents[0], 10);
+  EXPECT_EQ(s.payload.size(), 10 * sizeof(std::int32_t));
+  // A rank-1 destination may be larger than the encoded prefix.
+  pk::View<std::int32_t, 1> dst("dst", 50);
+  ckpt::decode_view_into(s, dst);
+  for (index_t i = 0; i < 10; ++i) EXPECT_EQ(dst(i), i);
+}
+
+TEST(Serialize, ShapeMismatchesAreTyped) {
+  pk::View<float, 1> v("v", 8);
+  const auto s = ckpt::encode_view("v", v);
+  // Wrong element type.
+  EXPECT_EQ(thrown_kind([&] { (void)ckpt::decode_view<double, 1>(s); }),
+            ckpt::RestoreErrorKind::ShapeMismatch);
+  // Wrong rank.
+  EXPECT_EQ(thrown_kind([&] { (void)ckpt::decode_view<float, 2>(s); }),
+            ckpt::RestoreErrorKind::ShapeMismatch);
+  // Destination too small.
+  pk::View<float, 1> tiny("tiny", 4);
+  EXPECT_EQ(thrown_kind([&] { ckpt::decode_view_into(s, tiny); }),
+            ckpt::RestoreErrorKind::ShapeMismatch);
+}
+
+// ---- file envelope ---------------------------------------------------
+
+TEST(File, WriterReaderRoundTrip) {
+  const auto dir = scratch("file_roundtrip");
+  const std::string path = (dir / "a.ckpt").string();
+  write_sample(path, /*fingerprint=*/99, /*step=*/123);
+
+  ckpt::FileReader f(path);
+  EXPECT_EQ(f.fingerprint(), 99u);
+  EXPECT_EQ(f.step(), 123);
+  EXPECT_EQ(f.section_count(), 3u);
+  EXPECT_TRUE(f.has("alpha"));
+  EXPECT_FALSE(f.has("nope"));
+  const auto v = f.view<float, 1>("alpha");
+  ASSERT_EQ(v.size(), 64);
+  EXPECT_EQ(v(10), 5.0f);
+  EXPECT_EQ(f.vector<double>("beta").size(), 32u);
+  EXPECT_EQ(f.pod<std::int64_t>("gamma"), 42);
+  EXPECT_NO_THROW(f.require_fingerprint(99));
+  EXPECT_EQ(thrown_kind([&] { f.require_fingerprint(100); }),
+            ckpt::RestoreErrorKind::FingerprintMismatch);
+  EXPECT_EQ(thrown_kind([&] { (void)f.section("nope"); }),
+            ckpt::RestoreErrorKind::MissingSection);
+}
+
+TEST(File, DuplicateSectionNameRejected) {
+  ckpt::FileWriter w;
+  w.add_pod("x", 1);
+  EXPECT_THROW(w.add_pod("x", 2), std::invalid_argument);
+}
+
+TEST(File, CommitIsAtomicNoTmpLeftBehind) {
+  const auto dir = scratch("file_atomic");
+  const std::string path = (dir / "a.ckpt").string();
+  write_sample(path);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(File, UnwritableDirectoryIsIoError) {
+  EXPECT_EQ(thrown_kind([&] {
+              ckpt::FileWriter w;
+              w.add_pod("x", 1);
+              w.commit("/nonexistent_vpic_dir/a.ckpt", 0, 0);
+            }),
+            ckpt::RestoreErrorKind::IoError);
+}
+
+// ---- corruption modes: every injected fault -> its typed kind --------
+
+TEST(Corruption, MissingFileIsIoError) {
+  EXPECT_EQ(thrown_kind([&] { ckpt::FileReader f("/no/such/file.ckpt"); }),
+            ckpt::RestoreErrorKind::IoError);
+}
+
+TEST(Corruption, TruncatedTailDetected) {
+  const auto dir = scratch("trunc");
+  const std::string path = (dir / "a.ckpt").string();
+  write_sample(path);
+  ckpt::FaultInjector::truncate_tail(path, 16);
+  EXPECT_EQ(thrown_kind([&] { ckpt::FileReader f(path); }),
+            ckpt::RestoreErrorKind::Truncated);
+}
+
+TEST(Corruption, TruncatedBelowHeaderDetected) {
+  const auto dir = scratch("trunc_hdr");
+  const std::string path = (dir / "a.ckpt").string();
+  write_sample(path);
+  const auto sz = fs::file_size(path);
+  ckpt::FaultInjector::truncate_tail(path, sz - 20);
+  EXPECT_EQ(thrown_kind([&] { ckpt::FileReader f(path); }),
+            ckpt::RestoreErrorKind::Truncated);
+}
+
+TEST(Corruption, CorruptMagicDetected) {
+  const auto dir = scratch("magic");
+  const std::string path = (dir / "a.ckpt").string();
+  write_sample(path);
+  ckpt::FaultInjector::corrupt_magic(path);
+  EXPECT_EQ(thrown_kind([&] { ckpt::FileReader f(path); }),
+            ckpt::RestoreErrorKind::BadMagic);
+}
+
+TEST(Corruption, HeaderBitFlipDetected) {
+  const auto dir = scratch("hdr_flip");
+  const std::string path = (dir / "a.ckpt").string();
+  write_sample(path);
+  // Byte 20 is inside the header's fingerprint field: the header CRC
+  // catches the flip before the fingerprint is ever believed.
+  ckpt::FaultInjector::flip_bit(path, 20);
+  EXPECT_EQ(thrown_kind([&] { ckpt::FileReader f(path); }),
+            ckpt::RestoreErrorKind::HeaderCorrupt);
+}
+
+TEST(Corruption, StaleFormatVersionDetected) {
+  const auto dir = scratch("version");
+  const std::string path = (dir / "a.ckpt").string();
+  write_sample(path);
+  // set_version recomputes the header CRC: the file presents as a valid
+  // checkpoint of another format era, not as damage.
+  ckpt::FaultInjector::set_version(path, ckpt::kFormatVersion + 7);
+  EXPECT_EQ(thrown_kind([&] { ckpt::FileReader f(path); }),
+            ckpt::RestoreErrorKind::BadVersion);
+}
+
+TEST(Corruption, TableBitFlipDetected) {
+  const auto dir = scratch("table_flip");
+  const std::string path = (dir / "a.ckpt").string();
+  write_sample(path);
+  ckpt::FaultInjector::flip_bit(path, sizeof(ckpt::FileHeader) + 10);
+  EXPECT_EQ(thrown_kind([&] { ckpt::FileReader f(path); }),
+            ckpt::RestoreErrorKind::TableCorrupt);
+}
+
+TEST(Corruption, TornSectionDetectedLazily) {
+  const auto dir = scratch("torn");
+  const std::string path = (dir / "a.ckpt").string();
+  write_sample(path);
+  ckpt::FaultInjector::torn_section(path, 0);
+  ckpt::FileReader f(path);  // envelope still validates
+  EXPECT_EQ(thrown_kind([&] { (void)f.section("alpha"); }),
+            ckpt::RestoreErrorKind::SectionCorrupt);
+  // Other sections are unaffected.
+  EXPECT_NO_THROW((void)f.pod<std::int64_t>("gamma"));
+}
+
+TEST(Corruption, PayloadBitFlipDetected) {
+  const auto dir = scratch("payload_flip");
+  const std::string path = (dir / "a.ckpt").string();
+  write_sample(path);
+  ckpt::FaultInjector::flip_payload_bit(path, 1);
+  ckpt::FileReader f(path);
+  EXPECT_EQ(thrown_kind([&] { f.validate_all(); }),
+            ckpt::RestoreErrorKind::SectionCorrupt);
+}
+
+// ---- generation ring -------------------------------------------------
+
+TEST(Ring, NamingAndNextGeneration) {
+  const auto dir = scratch("ring_names");
+  ckpt::GenerationRing ring((dir / "ck").string(), 3);
+  EXPECT_EQ(ring.path_for(0), (dir / "ck.g0").string());
+  EXPECT_EQ(ring.path_for(12), (dir / "ck.g12").string());
+  EXPECT_TRUE(ring.generations().empty());
+  EXPECT_EQ(ring.next_generation(), 0u);
+  write_sample(ring.path_for(0));
+  write_sample(ring.path_for(3));
+  EXPECT_EQ(ring.generations(), (std::vector<std::uint64_t>{0, 3}));
+  EXPECT_EQ(ring.next_generation(), 4u);
+}
+
+TEST(Ring, PruneKeepsNewestAndRemovesStaleTmp) {
+  const auto dir = scratch("ring_prune");
+  ckpt::GenerationRing ring((dir / "ck").string(), 2);
+  for (std::uint64_t g = 0; g < 5; ++g) write_sample(ring.path_for(g));
+  {
+    std::ofstream tmp(ring.path_for(9) + ".tmp");
+    tmp << "stale";
+  }
+  ring.prune();
+  EXPECT_EQ(ring.generations(), (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_FALSE(fs::exists(ring.path_for(9) + ".tmp"));
+}
+
+// ---- Simulation integration -----------------------------------------
+
+TEST(SimCkpt, FingerprintSeparatesDecks) {
+  auto a = make_lpi_small(42);
+  auto b = make_lpi_small(42);
+  auto c = make_lpi_small(43);
+  EXPECT_EQ(a.config_fingerprint(), b.config_fingerprint());
+  EXPECT_NE(a.config_fingerprint(), c.config_fingerprint());
+}
+
+TEST(SimCkpt, BitIdenticalResumeOnLpi) {
+  const auto dir = scratch("resume");
+  const std::string path = (dir / "mid.ckpt").string();
+
+  // Reference: 100 uninterrupted steps.
+  auto ref = make_lpi_small();
+  ref.run(100);
+
+  // Interrupted: 50 steps, checkpoint, 50 more — checkpointing must not
+  // perturb the run.
+  auto victim = make_lpi_small();
+  victim.run(50);
+  const auto bytes = victim.checkpoint(path);
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(victim.checkpoints_written(), 1);
+  victim.run(50);
+  expect_bit_identical(victim, ref);
+
+  // Resumed: a fresh same-deck simulation restored from the file.
+  auto resumed = make_lpi_small();
+  resumed.restore(path);
+  EXPECT_EQ(resumed.step_count(), 50);
+  resumed.run(50);
+  expect_bit_identical(resumed, ref);
+}
+
+TEST(SimCkpt, RestoreRejectsWrongDeck) {
+  const auto dir = scratch("wrong_deck");
+  const std::string path = (dir / "a.ckpt").string();
+  auto a = make_lpi_small(42);
+  a.run(3);
+  a.checkpoint(path);
+  auto b = make_lpi_small(43);
+  EXPECT_EQ(thrown_kind([&] { b.restore(path); }),
+            ckpt::RestoreErrorKind::FingerprintMismatch);
+}
+
+TEST(SimCkpt, RestoreGrowsParticleCapacity) {
+  const auto dir = scratch("grow");
+  const std::string path = (dir / "a.ckpt").string();
+  core::SimulationConfig cfg;
+  cfg.grid = core::Grid(4, 4, 4, 4, 4, 4, 0);
+  cfg.grid.dt = core::Grid::courant_dt(1, 1, 1, 0.6f);
+  core::Simulation big(cfg);
+  big.add_species("e", -1.0f, 1.0f, 2000);
+  big.load_uniform_plasma(0, 4, 0.1f);
+  big.run(2);
+  big.checkpoint(path);
+
+  core::Simulation small(cfg);
+  small.add_species("e", -1.0f, 1.0f, 8);  // capacity << live count
+  small.restore(path);
+  EXPECT_EQ(small.species(0).np, big.species(0).np);
+  EXPECT_GE(small.species(0).capacity(), small.species(0).np);
+  expect_bit_identical(small, big);
+}
+
+TEST(SimCkpt, CorruptRestoreLeavesStateUntouched) {
+  const auto dir = scratch("no_mutate");
+  const std::string path = (dir / "a.ckpt").string();
+  auto sim = make_lpi_small();
+  sim.run(10);
+  sim.checkpoint(path);
+  sim.run(5);  // sim is now *past* the checkpoint
+  const auto before = view_bytes(sim.fields().ex);
+  ckpt::FaultInjector::flip_payload_bit(path, 0);
+  EXPECT_EQ(thrown_kind([&] { sim.restore(path); }),
+            ckpt::RestoreErrorKind::SectionCorrupt);
+  // Validate-then-mutate: the failed restore changed nothing.
+  EXPECT_EQ(view_bytes(sim.fields().ex), before);
+  EXPECT_EQ(sim.step_count(), 15);
+}
+
+TEST(SimCkpt, RestoreLatestFallsBackPastCorruptGeneration) {
+  const auto dir = scratch("fallback");
+  const std::string base = (dir / "ck").string();
+  ckpt::GenerationRing ring(base, 3);
+
+  auto sim = make_lpi_small();
+  sim.run(10);
+  sim.checkpoint(ring.path_for(0));
+  sim.run(10);
+  sim.checkpoint(ring.path_for(1));
+  // Corrupt the newest generation; restore_latest must fall back to g0.
+  ckpt::FaultInjector::flip_payload_bit(ring.path_for(1), 2);
+
+  auto fresh = make_lpi_small();
+  const std::string used = fresh.restore_latest(base);
+  EXPECT_EQ(used, ring.path_for(0));
+  EXPECT_EQ(fresh.step_count(), 10);
+
+  // With every generation corrupt, the newest failure surfaces.
+  ckpt::FaultInjector::truncate_tail(ring.path_for(0), 64);
+  auto fresh2 = make_lpi_small();
+  EXPECT_EQ(thrown_kind([&] { fresh2.restore_latest(base); }),
+            ckpt::RestoreErrorKind::SectionCorrupt);
+}
+
+TEST(SimCkpt, AsyncMatchesSyncBytesAndIsolatesSnapshot) {
+  const auto dir = scratch("async");
+  const std::string sync_path = (dir / "sync.ckpt").string();
+  const std::string async_path = (dir / "async.ckpt").string();
+
+  auto sim = make_lpi_small();
+  sim.run(7);
+  sim.checkpoint(sync_path);
+  sim.checkpoint_async(async_path);
+  // Stepping continues while the background write is (possibly) still in
+  // flight; the snapshot was deep-copied at submission.
+  sim.run(3);
+  sim.checkpoint_wait();
+  EXPECT_EQ(sim.checkpoints_written(), 2);
+  EXPECT_EQ(slurp(async_path), slurp(sync_path));
+
+  auto restored = make_lpi_small();
+  restored.restore(async_path);
+  EXPECT_EQ(restored.step_count(), 7);
+}
+
+TEST(SimCkpt, AsyncWriteFailureSurfacesAtWait) {
+  auto sim = make_lpi_small();
+  sim.run(1);
+  sim.checkpoint_async("/nonexistent_vpic_dir/a.ckpt");
+  EXPECT_THROW(sim.checkpoint_wait(), ckpt::RestoreError);
+}
+
+TEST(SimCkpt, PeriodicRingUnderBothSchedulers) {
+  for (auto sched :
+       {core::StepScheduler::Sequential, core::StepScheduler::Graph}) {
+    SCOPED_TRACE(core::to_string(sched));
+    const auto dir =
+        scratch(std::string("periodic_") + core::to_string(sched));
+    auto sim = make_lpi_small();
+    sim.config().scheduler = sched;
+    sim.config().checkpoint_every = 5;
+    sim.config().checkpoint_path = (dir / "ck").string();
+    sim.config().checkpoint_keep_last = 2;
+    sim.run(22);  // checkpoints at steps 5, 10, 15, 20
+    sim.checkpoint_wait();
+    EXPECT_EQ(sim.checkpoints_written(), 4);
+    ckpt::GenerationRing ring((dir / "ck").string(), 2);
+    EXPECT_EQ(ring.generations(), (std::vector<std::uint64_t>{2, 3}));
+
+    auto fresh = make_lpi_small();
+    fresh.config().scheduler = sched;
+    const auto used = fresh.restore_latest((dir / "ck").string());
+    EXPECT_EQ(used, ring.path_for(3));
+    EXPECT_EQ(fresh.step_count(), 20);
+  }
+}
+
+TEST(SimCkpt, GraphCkptPhaseResumeIsBitIdentical) {
+  // The graph-scheduled "ckpt" phase (declared read set, validated
+  // race-free by StepGraph::validate inside step()) must capture exactly
+  // the sequential tail's state: resume from a mid-run graph checkpoint
+  // and land bit-identical to an uninterrupted graph run.
+  const auto dir = scratch("graph_resume");
+  auto ref = make_lpi_small();
+  ref.config().scheduler = core::StepScheduler::Graph;
+  ref.run(40);
+
+  auto victim = make_lpi_small();
+  victim.config().scheduler = core::StepScheduler::Graph;
+  victim.config().checkpoint_every = 20;
+  victim.config().checkpoint_path = (dir / "ck").string();
+  victim.run(25);
+
+  auto resumed = make_lpi_small();
+  resumed.config().scheduler = core::StepScheduler::Graph;
+  const auto used = resumed.restore_latest((dir / "ck").string());
+  EXPECT_EQ(used, (dir / "ck.g0").string());
+  EXPECT_EQ(resumed.step_count(), 20);
+  resumed.run(20);
+  expect_bit_identical(resumed, ref);
+}
+
+// ---- DistributedSimulation ------------------------------------------
+
+namespace {
+
+core::DomainConfig dist_config() {
+  core::DomainConfig cfg;
+  cfg.nx = 4;
+  cfg.ny = 4;
+  cfg.nz = 8;
+  cfg.lx = 4;
+  cfg.ly = 4;
+  cfg.lz = 8;
+  cfg.seed = 7;
+  // The fenced schedule is the bit-deterministic reference; overlap
+  // reorders fp current deposits (docs/ASYNC.md).
+  cfg.overlap = false;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(DistCkpt, CoordinatedRoundTripIsBitIdentical) {
+  const auto dir = scratch("dist");
+  const std::string ckdir = (dir / "set").string();
+  mpi::run(2, [&](mpi::Comm& comm) {
+    auto cfg = dist_config();
+    core::DistributedSimulation sim(cfg, comm);
+    sim.add_species("e", -1.0f, 1.0f, 8000);
+    sim.load_uniform_plasma(0, 2, 0.2f, 0.0f, 0.0f, 0.1f);
+    sim.run(10);
+    sim.checkpoint(ckdir);
+    sim.run(10);
+
+    core::DistributedSimulation fresh(cfg, comm);
+    fresh.add_species("e", -1.0f, 1.0f, 8000);
+    fresh.restore(ckdir);
+    EXPECT_EQ(fresh.step_count(), 10);
+    fresh.run(10);
+
+    // Byte-compare this rank's slab state.
+    const auto& sa = sim.species(0);
+    const auto& sb = fresh.species(0);
+    ASSERT_EQ(sa.np, sb.np);
+    EXPECT_EQ(std::memcmp(sa.p.data(), sb.p.data(),
+                          static_cast<std::size_t>(sa.np) *
+                              sizeof(core::Particle)),
+              0);
+    EXPECT_EQ(view_bytes(sim.fields().ex), view_bytes(fresh.fields().ex));
+    EXPECT_EQ(view_bytes(sim.fields().by), view_bytes(fresh.fields().by));
+    EXPECT_EQ(sim.exchanged_particles(), fresh.exchanged_particles());
+  });
+  EXPECT_TRUE(fs::exists(ckdir + "/manifest.ckpt"));
+  EXPECT_TRUE(fs::exists(ckdir + "/rank0.ckpt"));
+  EXPECT_TRUE(fs::exists(ckdir + "/rank1.ckpt"));
+}
+
+TEST(DistCkpt, ManifestStepDisagreementRejected) {
+  const auto dir = scratch("dist_manifest");
+  const std::string ck_a = (dir / "a").string();
+  const std::string ck_b = (dir / "b").string();
+  mpi::run(2, [&](mpi::Comm& comm) {
+    auto cfg = dist_config();
+    core::DistributedSimulation sim(cfg, comm);
+    sim.add_species("e", -1.0f, 1.0f, 8000);
+    sim.load_uniform_plasma(0, 2, 0.2f);
+    sim.run(2);
+    sim.checkpoint(ck_a);
+    sim.run(3);
+    sim.checkpoint(ck_b);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      // Splice b's manifest over a's: rank files now disagree with it.
+      fs::copy_file(ck_b + "/manifest.ckpt", ck_a + "/manifest.ckpt",
+                    fs::copy_options::overwrite_existing);
+    }
+    comm.barrier();
+    core::DistributedSimulation fresh(cfg, comm);
+    fresh.add_species("e", -1.0f, 1.0f, 8000);
+    EXPECT_EQ(thrown_kind([&] { fresh.restore(ck_a); }),
+              ckpt::RestoreErrorKind::ManifestMismatch);
+  });
+}
+
+TEST(DistCkpt, MissingManifestRejectsPartialSet) {
+  const auto dir = scratch("dist_partial");
+  const std::string ckdir = (dir / "set").string();
+  mpi::run(2, [&](mpi::Comm& comm) {
+    auto cfg = dist_config();
+    core::DistributedSimulation sim(cfg, comm);
+    sim.add_species("e", -1.0f, 1.0f, 8000);
+    sim.load_uniform_plasma(0, 2, 0.2f);
+    sim.checkpoint(ckdir);
+    comm.barrier();
+    if (comm.rank() == 0) fs::remove(ckdir + "/manifest.ckpt");
+    comm.barrier();
+    core::DistributedSimulation fresh(cfg, comm);
+    fresh.add_species("e", -1.0f, 1.0f, 8000);
+    EXPECT_EQ(thrown_kind([&] { fresh.restore(ckdir); }),
+              ckpt::RestoreErrorKind::IoError);
+  });
+}

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "core/core.hpp"
 
@@ -194,6 +195,38 @@ TEST(PushTiming, AccumulatesAcrossSteps) {
   EXPECT_EQ(sim.push_seconds(), 0.0);
   sim.run(3);
   EXPECT_GT(sim.push_seconds(), 0.0);
+}
+
+TEST(Determinism, FreshSameDeckRunsAreBitIdentical) {
+  // The determinism baseline the checkpoint bit-identity guarantee
+  // (docs/CHECKPOINT.md, tests/test_ckpt.cpp) builds on: two fresh
+  // simulations from the same deck must agree to the last bit. Requires
+  // one kernel thread — the float-atomic current deposits are
+  // nondeterministic under OpenMP scheduling.
+  pk::initialize(1);
+  auto a = make_plasma(core::VectorStrategy::Auto,
+                       vpic::sort::SortOrder::Standard, /*sort_interval=*/3);
+  auto b = make_plasma(core::VectorStrategy::Auto,
+                       vpic::sort::SortOrder::Standard, /*sort_interval=*/3);
+  a.run(12);
+  b.run(12);
+  for (std::size_t s = 0; s < a.num_species(); ++s) {
+    ASSERT_EQ(a.species(s).np, b.species(s).np);
+    EXPECT_EQ(std::memcmp(a.species(s).p.data(), b.species(s).p.data(),
+                          static_cast<std::size_t>(a.species(s).np) *
+                              sizeof(core::Particle)),
+              0)
+        << "species " << s << " diverged";
+  }
+  const auto& fa = a.fields();
+  const auto& fb = b.fields();
+  EXPECT_EQ(std::memcmp(fa.ex.data(), fb.ex.data(),
+                        static_cast<std::size_t>(fa.ex.size()) * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(fa.bz.data(), fb.bz.data(),
+                        static_cast<std::size_t>(fa.bz.size()) * sizeof(float)),
+            0);
+  pk::initialize();  // restore the default thread count
 }
 
 TEST(QuasiPlanar, SingleCellAxisRunsStable) {

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json bench reports against the vpic-bench-v1 schema.
+
+Usage:
+    check_bench_schema.py [--require BENCH:field,field...] FILE...
+
+Every file (the shell expands the BENCH_*.json glob) must parse as JSON,
+carry schema "vpic-bench-v1", a bench name matching its BENCH_<name>.json
+filename, and a non-empty record list whose records all repeat the bench
+name. `--require bench:fields` additionally pins bench-specific fields on
+every record of that bench (repeatable). This is the CI-side twin of
+vpic::bench::validate_bench_report (bench/bench_common.hpp), which benches
+run on their own report before exiting.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def fail(path, msg):
+    print(f"FAIL {path}: {msg}", file=sys.stderr)
+    return False
+
+
+def check(path, required):
+    try:
+        with open(path) as f:
+            d = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or not JSON: {e}")
+
+    if d.get("schema") != "vpic-bench-v1":
+        return fail(path, f"schema is {d.get('schema')!r}")
+    bench = d.get("bench")
+    expect = os.path.basename(path)
+    if not (expect.startswith("BENCH_") and expect.endswith(".json")):
+        return fail(path, "filename is not BENCH_<name>.json")
+    if bench != expect[len("BENCH_"):-len(".json")]:
+        return fail(path, f"bench {bench!r} does not match filename")
+    records = d.get("records")
+    if not isinstance(records, list) or not records:
+        return fail(path, "empty or missing record list")
+    for i, r in enumerate(records):
+        if r.get("bench") != bench:
+            return fail(path, f"record {i} bench is {r.get('bench')!r}")
+    # Required fields must appear on at least one record (summary rows
+    # carry fields the per-mode rows do not).
+    for field in required.get(bench, []):
+        if not any(field in r for r in records):
+            return fail(path, f"no record carries required '{field}'")
+    print(f"OK   {path}: {len(records)} records")
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("files", nargs="+")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="BENCH:F1,F2", help="per-bench required fields")
+    args = ap.parse_args()
+
+    required = {}
+    for spec in args.require:
+        bench, _, fields = spec.partition(":")
+        required.setdefault(bench, []).extend(
+            f for f in fields.split(",") if f)
+
+    ok = all([check(p, required) for p in args.files])
+    print(f"{len(args.files)} report(s) checked")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
