@@ -3,6 +3,11 @@
 #include <cstdio>
 #include <filesystem>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "prof/prof.hpp"
 
 namespace vpic::ckpt {
@@ -89,7 +94,13 @@ std::uint64_t FileWriter::commit(const std::string& path,
       throw RestoreError(RestoreErrorKind::IoError,
                          "cannot open '" + tmp + "' for writing");
     const std::size_t wrote = std::fwrite(blob.data(), 1, blob.size(), f);
-    const bool flushed = std::fflush(f) == 0;
+    bool flushed = std::fflush(f) == 0;
+#ifndef _WIN32
+    // fflush only reaches the page cache; a power loss (as opposed to a
+    // process kill) could leave the renamed "committed" file empty or
+    // torn, and all recent generations can share one unflushed window.
+    if (flushed) flushed = ::fsync(::fileno(f)) == 0;
+#endif
     std::fclose(f);
     if (wrote != blob.size() || !flushed) {
       std::error_code ec;
@@ -107,6 +118,20 @@ std::uint64_t FileWriter::commit(const std::string& path,
                        "rename '" + tmp + "' -> '" + path +
                            "' failed: " + ec.message());
   }
+#ifndef _WIN32
+  // The rename itself lives in the directory: fsync the parent so the new
+  // name is durable before the generation counts as committed.
+  const fs::path parent_path = fs::path(path).parent_path();
+  const std::string parent = parent_path.empty() ? "." : parent_path.string();
+  const int dfd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    const bool dir_synced = ::fsync(dfd) == 0;
+    ::close(dfd);
+    if (!dir_synced)
+      throw RestoreError(RestoreErrorKind::IoError,
+                         "fsync of directory '" + parent + "' failed");
+  }
+#endif
   return h.total_bytes;
 }
 
@@ -155,7 +180,12 @@ FileReader::FileReader(const std::string& path) : path_(path) {
   const std::uint64_t table_bytes =
       static_cast<std::uint64_t>(header_.section_count) *
       sizeof(SectionRecord);
-  if (header_.table_offset + table_bytes > header_.total_bytes)
+  // Overflow-safe form: "offset + bytes > total" can wrap in uint64 for a
+  // crafted file whose CRCs are self-consistent (CRCs are not integrity
+  // protection against malicious input), passing the check and reading
+  // out of bounds.
+  if (table_bytes > header_.total_bytes ||
+      header_.table_offset > header_.total_bytes - table_bytes)
     throw RestoreError(RestoreErrorKind::TableCorrupt,
                        "section table out of bounds in '" + path + "'");
   if (crc32(data_.data() + header_.table_offset, table_bytes) !=
@@ -182,7 +212,9 @@ FileReader::FileReader(const std::string& path) : path_(path) {
     slot.offset = rec.payload_offset;
     slot.bytes = rec.payload_bytes;
     slot.crc = rec.payload_crc;
-    if (slot.offset + slot.bytes > header_.total_bytes)
+    // Same overflow-safe form as the table bound above.
+    if (slot.bytes > header_.total_bytes ||
+        slot.offset > header_.total_bytes - slot.bytes)
       throw RestoreError(RestoreErrorKind::TableCorrupt,
                          "section '" + slot.section.name +
                              "' payload out of bounds in '" + path + "'");

@@ -49,7 +49,10 @@ void GenerationRing::prune() const {
     const std::size_t drop = gens.size() - static_cast<std::size_t>(keep_last_);
     for (std::size_t i = 0; i < drop; ++i) fs::remove(path_for(gens[i]), ec);
   }
-  // Stale .tmp files are uncommitted wrecks from a crash mid-write.
+}
+
+void GenerationRing::remove_stale_tmp() const {
+  std::error_code ec;
   const fs::path base(base_);
   const fs::path dir =
       base.has_parent_path() ? base.parent_path() : fs::path(".");

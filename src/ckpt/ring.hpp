@@ -35,9 +35,18 @@ class GenerationRing {
   /// Next generation number to write (max existing + 1, or 0).
   [[nodiscard]] std::uint64_t next_generation() const;
 
-  /// Delete committed generations beyond the newest keep_last, plus any
-  /// stale .tmp leftovers. Best-effort: removal errors are ignored.
+  /// Delete committed generations beyond the newest keep_last. Only
+  /// committed files are touched — an in-flight "<base>.g<N>.tmp" is
+  /// invisible here, so pruning is safe while an async writer is still
+  /// committing. Best-effort: removal errors are ignored.
   void prune() const;
+
+  /// Delete stale "<base>.g<N>.tmp" leftovers — uncommitted wrecks from a
+  /// crash mid-write. Callers must NOT run this while an asynchronous
+  /// commit may be in flight: it would unlink the tmp file out from under
+  /// the writer and the rename-commit would fail, losing the checkpoint
+  /// (Simulation::checkpoint_to_ring defers it until the queue is idle).
+  void remove_stale_tmp() const;
 
  private:
   std::string base_;

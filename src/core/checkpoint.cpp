@@ -304,16 +304,34 @@ std::string Simulation::restore_latest(const std::string& base) {
 void Simulation::checkpoint_to_ring() {
   prof::ScopedRegion r("ckpt_ring");
   ckpt::GenerationRing ring(cfg_.checkpoint_path, cfg_.checkpoint_keep_last);
-  const std::string path = ring.path_for(ring.next_generation());
+  // Generation numbers are tracked in memory, not re-scanned per
+  // checkpoint: an async generation not yet renamed into place is
+  // invisible to a directory scan, so two back-to-back periodic
+  // checkpoints would collide on the same number and the later write
+  // would silently overwrite a retained generation.
+  if (ckpt_next_gen_ < 0 || ckpt_ring_base_ != cfg_.checkpoint_path) {
+    ckpt_ring_base_ = cfg_.checkpoint_path;
+    ckpt_next_gen_ = static_cast<std::int64_t>(ring.next_generation());
+  }
+  const std::string path =
+      ring.path_for(static_cast<std::uint64_t>(ckpt_next_gen_++));
   if (cfg_.checkpoint_async) {
     checkpoint_async(path);
   } else {
     checkpoint(path);
   }
   // Prune sees only committed files: an async generation still being
-  // written has not been renamed into place yet, and the next sync prune
+  // written has not been renamed into place yet, and a later prune
   // catches it.
   ring.prune();
+  // The stale-.tmp sweep must wait until no async commit is in flight —
+  // it would unlink the background writer's "<path>.tmp" mid-write and
+  // the rename-commit would fail, silently losing that checkpoint. With
+  // writes pending it is deferred to a later, quiescent checkpoint (a
+  // restart's restore_latest never races a writer, so crash wrecks are
+  // still collected).
+  if (ckpt_inflight_->load(std::memory_order_acquire) == 0)
+    ring.remove_stale_tmp();
 }
 
 // ---- DistributedSimulation -------------------------------------------

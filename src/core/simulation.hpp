@@ -265,6 +265,13 @@ class Simulation {
   std::shared_ptr<std::atomic<int>> ckpt_inflight_ =
       std::make_shared<std::atomic<int>>(0);
   std::int64_t ckpt_written_ = 0;
+  // Next ring generation number, tracked in memory (core/checkpoint.cpp):
+  // an async generation still being written is invisible to a directory
+  // scan, so re-scanning per checkpoint could hand out the same number
+  // twice. Scanned once per ring base (-1 = not yet scanned), then
+  // incremented.
+  std::int64_t ckpt_next_gen_ = -1;
+  std::string ckpt_ring_base_;
 };
 
 }  // namespace vpic::core

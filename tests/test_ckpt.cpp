@@ -17,6 +17,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -338,6 +339,63 @@ TEST(Corruption, PayloadBitFlipDetected) {
             ckpt::RestoreErrorKind::SectionCorrupt);
 }
 
+namespace {
+
+/// Patch a file's header (and optionally its first section record) and
+/// recompute the table/header CRCs, so the result presents as a *valid*
+/// checkpoint rather than as damage. CRCs are attacker-controlled, so
+/// they are no defense against a crafted file — only bounds checks are.
+void rewrite_crafted(const std::string& path,
+                     const std::function<void(ckpt::FileHeader&,
+                                              ckpt::SectionRecord&)>& mutate) {
+  auto blob = slurp(path);
+  ckpt::FileHeader h;
+  std::memcpy(&h, blob.data(), sizeof(h));
+  ckpt::SectionRecord rec;
+  std::byte* table = blob.data() + h.table_offset;
+  std::memcpy(&rec, table, sizeof(rec));
+  mutate(h, rec);
+  std::memcpy(table, &rec, sizeof(rec));
+  h.table_crc = ckpt::crc32(
+      table, h.section_count * sizeof(ckpt::SectionRecord));
+  h.header_crc = ckpt::crc32(&h, ckpt::kHeaderCrcBytes);
+  std::memcpy(blob.data(), &h, sizeof(h));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+}
+
+}  // namespace
+
+TEST(Corruption, WrappingPayloadBoundsDetected) {
+  const auto dir = scratch("wrap_payload");
+  const std::string path = (dir / "a.ckpt").string();
+  write_sample(path);
+  // offset + bytes wraps uint64 to a small value below total_bytes: the
+  // naive "offset + bytes > total" bound passes and crc32()/memcpy read
+  // out of bounds. The overflow-safe form must reject it.
+  rewrite_crafted(path, [](ckpt::FileHeader&, ckpt::SectionRecord& rec) {
+    rec.payload_offset = 0xFFFFFFFFFFFFFF00ull;
+    rec.payload_bytes = 0x200;
+  });
+  EXPECT_EQ(thrown_kind([&] { ckpt::FileReader f(path); }),
+            ckpt::RestoreErrorKind::TableCorrupt);
+}
+
+TEST(Corruption, WrappingTableOffsetDetected) {
+  const auto dir = scratch("wrap_table");
+  const std::string path = (dir / "a.ckpt").string();
+  write_sample(path);
+  // Same wrap in the header's table bound, which is checked *before* the
+  // table CRC is read — without the overflow-safe form the CRC pass
+  // itself reads out of bounds.
+  rewrite_crafted(path, [](ckpt::FileHeader& h, ckpt::SectionRecord&) {
+    h.table_offset = 0xFFFFFFFFFFFFFF00ull;
+  });
+  EXPECT_EQ(thrown_kind([&] { ckpt::FileReader f(path); }),
+            ckpt::RestoreErrorKind::TableCorrupt);
+}
+
 // ---- generation ring -------------------------------------------------
 
 TEST(Ring, NamingAndNextGeneration) {
@@ -361,9 +419,15 @@ TEST(Ring, PruneKeepsNewestAndRemovesStaleTmp) {
     std::ofstream tmp(ring.path_for(9) + ".tmp");
     tmp << "stale";
   }
+  // prune() touches only committed generations: a .tmp file (possibly an
+  // async commit in flight) must survive it...
   ring.prune();
   EXPECT_EQ(ring.generations(), (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_TRUE(fs::exists(ring.path_for(9) + ".tmp"));
+  // ...and the explicit stale sweep (run only at quiescence) removes it.
+  ring.remove_stale_tmp();
   EXPECT_FALSE(fs::exists(ring.path_for(9) + ".tmp"));
+  EXPECT_EQ(ring.generations(), (std::vector<std::uint64_t>{3, 4}));
 }
 
 // ---- Simulation integration -----------------------------------------
@@ -525,6 +589,35 @@ TEST(SimCkpt, PeriodicRingUnderBothSchedulers) {
     EXPECT_EQ(used, ring.path_for(3));
     EXPECT_EQ(fresh.step_count(), 20);
   }
+}
+
+TEST(SimCkpt, PeriodicRingAsyncKeepsEveryGenerationDistinct) {
+  // Async periodic checkpointing stresses two ring invariants at once:
+  // generation numbers come from the in-memory counter (a directory
+  // re-scan cannot see an async generation not yet renamed into place,
+  // so it would hand out the same number twice and overwrite a retained
+  // generation), and the stale-.tmp sweep never runs while a background
+  // commit is in flight (it would unlink the writer's tmp file, fail the
+  // rename, and surface a deferred IoError at the next fence).
+  const auto dir = scratch("periodic_async");
+  auto sim = make_lpi_small();
+  sim.config().checkpoint_every = 1;  // submissions outpace commits
+  sim.config().checkpoint_path = (dir / "ck").string();
+  sim.config().checkpoint_keep_last = 100;  // retention out of the way
+  sim.config().checkpoint_async = true;
+  sim.run(10);
+  EXPECT_NO_THROW(sim.checkpoint_wait());  // no deferred write failure
+  EXPECT_EQ(sim.checkpoints_written(), 10);
+
+  // Every submitted generation landed as its own committed file.
+  ckpt::GenerationRing ring((dir / "ck").string(), 100);
+  EXPECT_EQ(ring.generations(),
+            (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+
+  auto fresh = make_lpi_small();
+  const auto used = fresh.restore_latest((dir / "ck").string());
+  EXPECT_EQ(used, ring.path_for(9));
+  EXPECT_EQ(fresh.step_count(), 10);
 }
 
 TEST(SimCkpt, GraphCkptPhaseResumeIsBitIdentical) {
