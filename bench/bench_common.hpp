@@ -37,6 +37,22 @@ inline bool has_flag(int argc, char** argv, const char* name) {
   return false;
 }
 
+/// String-valued "--name=value" flags (same VPIC_BENCH_<NAME> env
+/// fallback as flag()).
+inline std::string flag_str(int argc, char** argv, const char* name,
+                            const char* def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::string(argv[i] + prefix.size());
+  }
+  std::string env = "VPIC_BENCH_";
+  for (const char* c = name; *c; ++c)
+    env += static_cast<char>(std::toupper(*c));
+  if (const char* v = std::getenv(env.c_str())) return std::string(v);
+  return std::string(def);
+}
+
 /// Minimal fixed-width table printer.
 class Table {
  public:

@@ -24,7 +24,7 @@ namespace pk = vpic::pk;
 using pk::index_t;
 
 struct Snapshot {
-  std::vector<pk::View<core::Particle, 1>> p;
+  std::vector<std::vector<core::Particle>> p;  // canonical AoS records
   std::vector<index_t> np;
 };
 
@@ -32,9 +32,9 @@ Snapshot take_snapshot(core::Simulation& sim) {
   Snapshot s;
   for (std::size_t i = 0; i < sim.num_species(); ++i) {
     auto& sp = sim.species(i);
-    pk::View<core::Particle, 1> copy("snapshot", sp.p.size());
-    pk::deep_copy(copy, sp.p);
-    s.p.push_back(copy);
+    std::vector<core::Particle> copy(static_cast<std::size_t>(sp.np));
+    sp.p.export_aos(copy.data(), sp.np);
+    s.p.push_back(std::move(copy));
     s.np.push_back(sp.np);
   }
   return s;
@@ -43,7 +43,7 @@ Snapshot take_snapshot(core::Simulation& sim) {
 void restore_snapshot(core::Simulation& sim, const Snapshot& s) {
   for (std::size_t i = 0; i < sim.num_species(); ++i) {
     auto& sp = sim.species(i);
-    pk::deep_copy(sp.p, s.p[i]);
+    sp.p.import_aos(s.p[i].data(), s.np[i]);
     sp.np = s.np[i];
   }
 }
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
       std::vector<vpic::sort::CellRun> runs;
       const auto& pp = sp.p;
       vpic::sort::segment_runs(
-          sp.np, [&pp](index_t i) { return pp(i).i; }, runs);
+          sp.np, [&pp](index_t i) { return pp.cell(i); }, runs);
       total_np += sp.np;
       total_runs += static_cast<index_t>(runs.size());
     }

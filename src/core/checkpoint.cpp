@@ -88,7 +88,16 @@ void add_engine_sections(ckpt::FileWriter& w, const FieldArray& f,
     meta.cell_sorted_hint = sp.cell_sorted_hint ? 1 : 0;
     w.add_pod(pfx + "meta", meta);
     // Prefix-encode: only the np live records, not the slack capacity.
-    w.add_view(pfx + "p", sp.p, sp.np);
+    // The on-disk particle stream is the canonical packed AoS record for
+    // every layout, so the file format (and its CRCs) is layout-invariant
+    // and a checkpoint round-trips across AoS/SoA/AoSoA stores.
+    if (sp.p.layout() == ParticleLayout::AoS) {
+      w.add_view(pfx + "p", sp.p.aos_view(), sp.np);
+    } else {
+      pk::View<Particle, 1> canon("ckpt_canon_" + sp.name, sp.np);
+      sp.p.export_aos(canon.data(), sp.np);
+      w.add_view(pfx + "p", canon);
+    }
   }
 }
 
@@ -131,8 +140,17 @@ void read_engine_sections(ckpt::FileReader& f, FieldArray& fld,
       throw ckpt::RestoreError(ckpt::RestoreErrorKind::ShapeMismatch,
                                "negative particle count in '" + sp.name + "'");
     if (meta.np > sp.capacity())
-      sp.p = pk::View<Particle, 1>("particles_" + sp.name, meta.np);
-    f.read_view(pfx + "p", sp.p);
+      sp.p = ParticleStore("particles_" + sp.name, meta.np, sp.p.layout());
+    if (sp.p.layout() == ParticleLayout::AoS) {
+      f.read_view(pfx + "p", sp.p.aos_view());
+    } else {
+      // Stage through the canonical AoS stream, then scatter into the
+      // store's layout (restore may target a different layout than the
+      // writer used — the bytes on disk are identical either way).
+      pk::View<Particle, 1> canon("ckpt_canon_" + sp.name, meta.np);
+      f.read_view(pfx + "p", canon);
+      sp.p.import_aos(canon.data(), meta.np);
+    }
     sp.np = meta.np;
     sp.q = meta.q;
     sp.m = meta.m;

@@ -32,7 +32,7 @@ void fill_cell(Species& sp, const Grid& g, index_t v, int ppc, float weight,
     p.w = weight;
     if (sp.np >= sp.capacity())
       throw std::length_error("deck: species capacity exceeded");
-    sp.p(sp.np++) = p;
+    sp.p.set(sp.np++, p);
   }
 }
 
@@ -49,6 +49,7 @@ Simulation make_lpi(const LpiParams& p) {
   cfg.sort_order = p.sort_order;
   cfg.sort_interval = p.sort_interval;
   cfg.seed = p.seed;
+  cfg.layout = p.layout;
   Simulation sim(cfg);
 
   const index_t slab_cells = cfg.grid.interior_cells();

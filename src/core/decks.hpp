@@ -27,6 +27,7 @@ struct LpiParams {
   sort::SortOrder sort_order = sort::SortOrder::Standard;
   int sort_interval = 20;
   std::uint64_t seed = 42;
+  ParticleLayout layout = ParticleLayout::AoS;
 };
 
 /// Laser-plasma instability benchmark: plane-wave antenna at the low-x

@@ -4,6 +4,7 @@
 
 #include "core/move_p.hpp"
 #include "core/rng.hpp"
+#include "core/simulation.hpp"  // tune::ensure_initialized forward decl
 #include "prof/prof.hpp"
 
 namespace vpic::core {
@@ -43,12 +44,16 @@ DistributedSimulation::DistributedSimulation(const DomainConfig& cfg,
       z_offset_(comm.rank() * (cfg.nz / comm.size())),
       fields_(make_local_grid(cfg, comm.size(), comm.rank())),
       interp_(fields_.grid),
-      acc_(fields_.grid) {}
+      acc_(fields_.grid) {
+  // Same startup calibration hook as Simulation (simulation.hpp) — ranks
+  // share the process, so only the first constructor actually probes.
+  tune::ensure_initialized();
+}
 
 std::size_t DistributedSimulation::add_species(std::string name, float q,
                                                float m,
                                                index_t local_capacity) {
-  species_.emplace_back(std::move(name), q, m, local_capacity);
+  species_.emplace_back(std::move(name), q, m, local_capacity, cfg_.layout);
   return species_.size() - 1;
 }
 
@@ -85,7 +90,7 @@ void DistributedSimulation::load_uniform_plasma(std::size_t species_idx,
           p.uy = udy + uth * static_cast<float>(normal(seed, 6 * ctr + 4));
           p.uz = udz + uth * static_cast<float>(normal(seed, 6 * ctr + 5));
           p.w = 1.0f / static_cast<float>(ppc);
-          sp.p(n++) = p;
+          sp.p.set(n++, p);
         }
       }
   sp.np = n;
@@ -195,7 +200,7 @@ void DistributedSimulation::exchange_exits(std::vector<ExitRecord>& exits) {
       } else {
         if (sp.np >= sp.capacity())
           throw std::length_error("reinjection: species capacity exceeded");
-        sp.p(sp.np++) = p;
+        sp.p.set(sp.np++, p);
       }
     };
     for (const auto& rec : from_prev) reinject(rec, 1);
@@ -280,9 +285,10 @@ void DistributedSimulation::step_overlapped() {
       Species& sp = species_[s];
       {
         prof::ScopedRegion seg("segment_runs");
-        const auto& pp = sp.p;
-        sort::segment_runs(sp.np, [&pp](index_t i) { return pp(i).i; },
-                           sp.push_runs);
+        dispatch_layout(sp.p, [&](auto a) {
+          sort::segment_runs(sp.np, [a](index_t i) { return a.cell(i); },
+                             sp.push_runs);
+        });
       }
       std::vector<sort::CellRun> interior;
       interior.reserve(sp.push_runs.size());

@@ -1,9 +1,11 @@
 // core/particle.hpp
 //
-// Particle storage. VPIC keeps particles as 32-byte AoS records
-// (dx, dy, dz, voxel, ux, uy, uz, w); this layout is what the transposing
-// loads of the manual/ad hoc vectorization strategies operate on, and the
-// record the streaming-traffic model charges 32 B for.
+// Particle storage. VPIC historically kept particles as 32-byte AoS
+// records (dx, dy, dz, voxel, ux, uy, uz, w); that record is now the
+// *canonical* format of a layout-polymorphic ParticleStore
+// (core/particle_store.hpp) which can also hold the same fields as SoA
+// planes or SIMD-width AoSoA tiles, selected per species by the
+// ParticleLayout policy in SimulationConfig.
 #pragma once
 
 #include <cstdint>
@@ -12,25 +14,18 @@
 #include <vector>
 
 #include "core/grid.hpp"
+#include "core/particle_store.hpp"
 #include "pk/pk.hpp"
 #include "sort/runs.hpp"
 #include "sort/workspace.hpp"
 
 namespace vpic::core {
 
-struct Particle {
-  float dx, dy, dz;   // cell-local position in [-1, 1]
-  std::int32_t i;     // voxel index
-  float ux, uy, uz;   // normalized momentum (gamma * v / c)
-  float w;            // statistical weight
-};
-static_assert(sizeof(Particle) == 32);
-
 struct Species {
   std::string name;
   float q = -1.0f;  // charge (electron = -1 in normalized units)
   float m = 1.0f;   // mass
-  pk::View<Particle, 1> p;
+  ParticleStore p;
   index_t np = 0;  // live particle count (p may be larger)
 
   // Persistent sort scratch: keys/permutation/histogram buffers sized on
@@ -38,7 +33,7 @@ struct Species {
   // the sort gathers into before swapping. Steady-state re-sorting
   // allocates nothing (see core/sort_particles.hpp, docs/SORTING.md).
   sort::SortWorkspace sort_ws;
-  pk::View<Particle, 1> p_scratch;
+  ParticleStore p_scratch;
 
   // Sortedness tracking for the run-aware push fast path (docs/PUSH.md):
   // sort_particles(Standard) marks the array cell-sorted; every push or
@@ -66,45 +61,56 @@ struct Species {
   }
 
   Species() = default;
-  Species(std::string name_, float q_, float m_, index_t capacity)
-      : name(std::move(name_)), q(q_), m(m_), p("particles_" + name, capacity) {}
+  Species(std::string name_, float q_, float m_, index_t capacity,
+          ParticleLayout layout = ParticleLayout::AoS)
+      : name(std::move(name_)),
+        q(q_),
+        m(m_),
+        p("particles_" + name, capacity, layout) {}
 
+  [[nodiscard]] ParticleLayout layout() const noexcept { return p.layout(); }
   [[nodiscard]] index_t capacity() const noexcept { return p.size(); }
 
-  /// Ping-pong partner of `p`, allocated lazily at the same capacity.
-  pk::View<Particle, 1>& sort_scratch() {
-    if (p_scratch.size() < p.size())
-      p_scratch = pk::View<Particle, 1>("particles_scratch_" + name, p.size());
+  /// Ping-pong partner of `p`, allocated lazily at the same capacity and
+  /// layout.
+  ParticleStore& sort_scratch() {
+    if (p_scratch.size() < p.size() || p_scratch.layout() != p.layout())
+      p_scratch =
+          ParticleStore("particles_scratch_" + name, p.size(), p.layout());
     return p_scratch;
   }
 
   /// Kinetic energy sum( w * m c^2 (gamma - 1) ).
   [[nodiscard]] double kinetic_energy() const {
     double total = 0;
-    const auto& pp = p;
     const float mass = m;
-    pk::parallel_reduce(
-        pk::RangePolicy<>(np),
-        [&pp, mass](index_t idx, double& acc) {
-          const Particle& part = pp(idx);
-          const double u2 = static_cast<double>(part.ux) * part.ux +
-                            static_cast<double>(part.uy) * part.uy +
-                            static_cast<double>(part.uz) * part.uz;
-          const double gamma = std::sqrt(1.0 + u2);
-          acc += static_cast<double>(part.w) * mass * (gamma - 1.0);
-        },
-        total);
+    dispatch_layout(p, [&](auto a) {
+      pk::parallel_reduce(
+          pk::RangePolicy<>(np),
+          [a, mass](index_t idx, double& acc) {
+            const Particle part = a.load(idx);
+            const double u2 = static_cast<double>(part.ux) * part.ux +
+                              static_cast<double>(part.uy) * part.uy +
+                              static_cast<double>(part.uz) * part.uz;
+            const double gamma = std::sqrt(1.0 + u2);
+            acc += static_cast<double>(part.w) * mass * (gamma - 1.0);
+          },
+          total);
+    });
     return total;
   }
 
   /// Write the voxel indices (the sorting keys) of the live particles into
   /// the first `np` entries of caller-provided storage. Allocation-free.
+  /// For SoA/AoSoA this reads only the dense cell lanes (~4 B/particle of
+  /// traffic); AoS streams whole records (see particle_key_read_bytes).
   void cell_keys(pk::View<std::uint32_t, 1>& out) const {
     assert(out.size() >= np);
-    const Particle* pp = p.data();
     std::uint32_t* k = out.data();
-    pk::parallel_for(np, [=](index_t idx) {
-      k[idx] = static_cast<std::uint32_t>(pp[idx].i);
+    dispatch_layout(p, [&](auto a) {
+      pk::parallel_for(np, [=](index_t idx) {
+        k[idx] = static_cast<std::uint32_t>(a.cell(idx));
+      });
     });
   }
 

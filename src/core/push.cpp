@@ -1,5 +1,14 @@
 // core/push.cpp — the four vectorization-strategy implementations of the
 // particle push. See push.hpp for the strategy taxonomy.
+//
+// Every kernel is written ONCE against the particle-accessor concept
+// (core/particle_store.hpp: load/store/cell + load_vecs) and instantiated
+// per ParticleLayout by dispatch_layout() — the layout switch happens once
+// per advance_species call, never inside a particle loop. The structural
+// tuning constants (block size, vector widths) come from
+// core/push_tuning.hpp; the AutoDetect dispatch gates are read from the
+// active_push_gates() registry, which the startup autotuner (src/tune)
+// calibrates per host and per layout.
 #include "core/push.hpp"
 
 #include <algorithm>
@@ -7,6 +16,7 @@
 #include <stdexcept>
 
 #include "core/move_p.hpp"
+#include "core/push_tuning.hpp"
 #include "prof/prof.hpp"
 #include "simd/simd.hpp"
 #include "sort/runs.hpp"
@@ -90,15 +100,15 @@ inline void boris(float& ux, float& uy, float& uz, float hax, float hay,
 /// Manual/AdHoc strategies (one implementation instead of two copies).
 /// Runs under its own prof region so summaries attribute tail work
 /// separately from the vector kernels.
-void push_scalar_range(Species& sp, const InterpolatorArray& interp,
+template <class A>
+void push_scalar_range(const A& a, const InterpolatorArray& interp,
                        AccumulatorArray& acc, const Grid& g,
                        const MoverOptions& opts, const PushConsts& c,
                        index_t n0, index_t n1) {
   if (n0 >= n1) return;
   prof::ScopedRegion tail("push_scalar_tail");
-  auto& pp = sp.p;
   for (index_t n = n0; n < n1; ++n) {
-    Particle& p = pp(n);
+    Particle p = a.load(n);
     const Interpolator& ip = interp(p.i);
     const FieldsAtPoint f = interpolate(ip, p.dx, p.dy, p.dz);
     boris(p.ux, p.uy, p.uz, c.qdt2m * f.ex, c.qdt2m * f.ey, c.qdt2m * f.ez,
@@ -107,6 +117,7 @@ void push_scalar_range(Species& sp, const InterpolatorArray& interp,
         1.0f / std::sqrt(1.0f + p.ux * p.ux + p.uy * p.uy + p.uz * p.uz);
     finish_move(p, c.cdtdx2 * p.ux * rg, c.cdtdy2 * p.uy * rg,
                 c.cdtdz2 * p.uz * rg, c.qw_sign * p.w, acc, g, opts);
+    a.store(n, p);
   }
 }
 
@@ -114,13 +125,13 @@ void push_scalar_range(Species& sp, const InterpolatorArray& interp,
 // Auto: one loop over particles, written the portable way, vectorization
 // left to the compiler (it will not vectorize through move_p).
 // ----------------------------------------------------------------------
-void push_auto(Species& sp, const InterpolatorArray& interp,
+template <class A>
+void push_auto(Species& sp, const A& a, const InterpolatorArray& interp,
                AccumulatorArray& acc, const Grid& g,
                const MoverOptions& opts) {
   const PushConsts c = make_consts(sp, g);
-  auto& pp = sp.p;
   pk::parallel_for("advance_p[auto]", sp.np, [&](index_t n) {
-    Particle p = pp(n);
+    Particle p = a.load(n);
     const Interpolator& ip = interp(p.i);
     const FieldsAtPoint f = interpolate(ip, p.dx, p.dy, p.dz);
     boris(p.ux, p.uy, p.uz, c.qdt2m * f.ex, c.qdt2m * f.ey, c.qdt2m * f.ez,
@@ -130,8 +141,8 @@ void push_auto(Species& sp, const InterpolatorArray& interp,
     const float dispx = c.cdtdx2 * p.ux * rg;
     const float dispy = c.cdtdy2 * p.uy * rg;
     const float dispz = c.cdtdz2 * p.uz * rg;
-    pp(n) = p;
-    finish_move(pp(n), dispx, dispy, dispz, c.qw_sign * p.w, acc, g, opts);
+    finish_move(p, dispx, dispy, dispz, c.qw_sign * p.w, acc, g, opts);
+    a.store(n, p);
   });
 }
 
@@ -141,12 +152,12 @@ void push_auto(Species& sp, const InterpolatorArray& interp,
 // branchy mover. The split is the paper's "separate difficult-to-
 // vectorize" refactoring; #pragma omp simd is the guided pragma.
 // ----------------------------------------------------------------------
-void push_guided(Species& sp, const InterpolatorArray& interp,
+template <class A>
+void push_guided(Species& sp, const A& a, const InterpolatorArray& interp,
                  AccumulatorArray& acc, const Grid& g,
                  const MoverOptions& opts) {
-  constexpr index_t kBlock = 256;
+  constexpr index_t kBlock = kPushBlock;
   const PushConsts c = make_consts(sp, g);
-  auto& pp = sp.p;
   const index_t nblocks = (sp.np + kBlock - 1) / kBlock;
   pk::parallel_for("advance_p[guided]", nblocks, [&](index_t b) {
     const index_t n0 = b * kBlock;
@@ -157,7 +168,7 @@ void push_guided(Species& sp, const InterpolatorArray& interp,
 
     PK_OMP_SIMD
     for (int k = 0; k < cnt; ++k) {
-      const Particle& p = pp(n0 + k);
+      const Particle p = a.load(n0 + k);
       const Interpolator& ip = interp(p.i);
       const float ex =
           ip.ex + p.dy * ip.dexdy + p.dz * (ip.dexdz + p.dy * ip.d2exdydz);
@@ -180,47 +191,40 @@ void push_guided(Species& sp, const InterpolatorArray& interp,
       dispz[k] = c.cdtdz2 * uz * rg;
     }
     for (int k = 0; k < cnt; ++k) {
-      Particle& p = pp(n0 + k);
+      Particle p = a.load(n0 + k);
       p.ux = nux[k];
       p.uy = nuy[k];
       p.uz = nuz[k];
       finish_move(p, dispx[k], dispy[k], dispz[k], c.qw_sign * p.w, acc, g,
                   opts);
+      a.store(n0 + k, p);
     }
   });
 }
 
 // ----------------------------------------------------------------------
 // Manual: portable SIMD library. 8-lane blocks (the particle record is 8
-// floats, so an 8x8 register transpose converts AoS to SoA), per-lane
-// gathers for the interpolator, vector Boris, scalar mover.
+// floats), vector Boris, scalar mover. The block load is the accessor's
+// load_vecs: an 8x8 register transpose for AoS, straight dense plane /
+// tile-row loads for SoA / AoSoA.
 // ----------------------------------------------------------------------
-void push_manual(Species& sp, const InterpolatorArray& interp,
+template <class A>
+void push_manual(Species& sp, const A& a, const InterpolatorArray& interp,
                  AccumulatorArray& acc, const Grid& g,
                  const MoverOptions& opts) {
-  constexpr int W = 8;
+  constexpr int W = kManualVecWidth;
   using F = simd::simd<float, W>;
   const PushConsts c = make_consts(sp, g);
-  auto& pp = sp.p;
   const index_t nfull = sp.np / W;
 
   pk::parallel_for("advance_p[manual]", nfull, [&](index_t b) {
     const index_t n0 = b * W;
-    // AoS -> SoA in registers: 8 particles x 8 fields.
-    auto rows = simd::load_transpose<float, W>(
-        reinterpret_cast<const float*>(&pp(n0)), 8);
-    F dx = rows[0], dy = rows[1], dz = rows[2];
-    F ux = rows[4], uy = rows[5], uz = rows[6];
-    // Lane l's voxel (bit pattern lives in rows[3]).
-    std::int32_t cell[W];
-    {
-      alignas(64) float tmp[W];
-      rows[3].store(tmp);
-      std::memcpy(cell, tmp, sizeof(cell));
-    }
+    const ParticleVecs<W> v = a.template load_vecs<W>(n0);
+    const F dx = v.dx, dy = v.dy, dz = v.dz;
+    F ux = v.ux, uy = v.uy, uz = v.uz;
     // Interpolator gathers, one field at a time.
     auto gf = [&](auto member) {
-      return F([&](int l) { return interp(cell[l]).*member; });
+      return F([&](int l) { return interp(v.cell[l]).*member; });
     };
     const F ex = gf(&Interpolator::ex) + dy * gf(&Interpolator::dexdy) +
                  dz * (gf(&Interpolator::dexdz) +
@@ -259,34 +263,50 @@ void push_manual(Species& sp, const InterpolatorArray& interp,
     const F dispz = F(c.cdtdz2) * uz * rg;
 
     for (int l = 0; l < W; ++l) {
-      Particle& p = pp(n0 + l);
+      Particle p;
+      p.dx = dx[l];
+      p.dy = dy[l];
+      p.dz = dz[l];
+      p.i = v.cell[l];
       p.ux = ux[l];
       p.uy = uy[l];
       p.uz = uz[l];
+      p.w = v.w[l];
       finish_move(p, dispx[l], dispy[l], dispz[l], c.qw_sign * p.w, acc, g,
                   opts);
+      a.store(n0 + l, p);
     }
   });
 
-  push_scalar_range(sp, interp, acc, g, opts, c, nfull * W, sp.np);
+  push_scalar_range(a, interp, acc, g, opts, c, nfull * W, sp.np);
 }
 
 // ----------------------------------------------------------------------
 // AdHoc: VPIC 1.2 style — the per-ISA v4 intrinsics library, 4-particle
-// blocks, two 4x4 register transposes per load.
+// blocks, two 4x4 register transposes per load. The transposes want the
+// packed AoS record; non-AoS layouts stage each block into a local AoS
+// scratch tile first (the historical pipeline simply was not built for
+// them — AdHoc exists as the paper's legacy baseline).
 // ----------------------------------------------------------------------
-void push_adhoc(Species& sp, const InterpolatorArray& interp,
+template <class A>
+void push_adhoc(Species& sp, const A& a, const InterpolatorArray& interp,
                 AccumulatorArray& acc, const Grid& g,
                 const MoverOptions& opts) {
   using V = v4::vfloat4;
-  constexpr int W = 4;
+  constexpr int W = kAdHocVecWidth;
   const PushConsts c = make_consts(sp, g);
-  auto& pp = sp.p;
   const index_t nfull = sp.np / W;
 
   pk::parallel_for("advance_p[adhoc]", nfull, [&](index_t b) {
     const index_t n0 = b * W;
-    const float* base = reinterpret_cast<const float*>(&pp(n0));
+    Particle staged[W];
+    const float* base;
+    if constexpr (A::layout == ParticleLayout::AoS) {
+      base = reinterpret_cast<const float*>(a.p + n0);
+    } else {
+      for (int l = 0; l < W; ++l) staged[l] = a.load(n0 + l);
+      base = reinterpret_cast<const float*>(staged);
+    }
     // Transpose positions (fields 0-3) and momenta+weight (fields 4-7).
     V dx = V::load(base + 0), dy = V::load(base + 8), dz = V::load(base + 16),
       ci = V::load(base + 24);
@@ -343,16 +363,22 @@ void push_adhoc(Species& sp, const InterpolatorArray& interp,
     const V dispz = V(c.cdtdz2) * uz * rg;
 
     for (int l = 0; l < W; ++l) {
-      Particle& p = pp(n0 + l);
+      Particle p;
+      p.dx = dx[l];
+      p.dy = dy[l];
+      p.dz = dz[l];
+      p.i = cell[l];
       p.ux = ux[l];
       p.uy = uy[l];
       p.uz = uz[l];
+      p.w = w[l];
       finish_move(p, dispx[l], dispy[l], dispz[l], c.qw_sign * p.w, acc, g,
                   opts);
+      a.store(n0 + l, p);
     }
   });
 
-  push_scalar_range(sp, interp, acc, g, opts, c, nfull * W, sp.np);
+  push_scalar_range(a, interp, acc, g, opts, c, nfull * W, sp.np);
 }
 
 // ======================================================================
@@ -408,12 +434,13 @@ inline void finish_move_run(Particle& p, float dispx, float dispy,
 /// Scalar run body: push particles [n0, n1) of the run whose hoisted
 /// interpolator is `ip`. Shared by the Auto variant and by the ragged
 /// sub-W tails of the vectorized variants.
-inline void push_run_scalar(pk::View<Particle, 1>& pp, const Interpolator& ip,
+template <class A>
+inline void push_run_scalar(const A& a, const Interpolator& ip,
                             const PushConsts& c, index_t n0, index_t n1,
                             Accumulator& local, AccumulatorArray& acc,
                             const Grid& g, const MoverOptions& opts) {
   for (index_t n = n0; n < n1; ++n) {
-    Particle& p = pp(n);
+    Particle p = a.load(n);
     const FieldsAtPoint f = interpolate(ip, p.dx, p.dy, p.dz);
     boris(p.ux, p.uy, p.uz, c.qdt2m * f.ex, c.qdt2m * f.ey, c.qdt2m * f.ez,
           f.bx, f.by, f.bz, c.qdt2m);
@@ -422,34 +449,35 @@ inline void push_run_scalar(pk::View<Particle, 1>& pp, const Interpolator& ip,
     finish_move_run(p, c.cdtdx2 * p.ux * rg, c.cdtdy2 * p.uy * rg,
                     c.cdtdz2 * p.uz * rg, c.qw_sign * p.w, local, acc, g,
                     opts);
+    a.store(n, p);
   }
 }
 
-void push_auto_runs(Species& sp, const InterpolatorArray& interp,
+template <class A>
+void push_auto_runs(Species& sp, const A& a, const InterpolatorArray& interp,
                     AccumulatorArray& acc, const Grid& g,
                     const MoverOptions& opts,
                     const std::vector<sort::CellRun>& runs) {
   const PushConsts c = make_consts(sp, g);
-  auto& pp = sp.p;
   pk::parallel_for(
       "advance_p[auto_runs]", static_cast<index_t>(runs.size()),
       [&](index_t r) {
         const sort::CellRun run = runs[static_cast<std::size_t>(r)];
         const Interpolator ip = interp(run.cell);  // hoisted: once per run
         Accumulator local{};
-        push_run_scalar(pp, ip, c, run.begin, run.begin + run.count, local,
+        push_run_scalar(a, ip, c, run.begin, run.begin + run.count, local,
                         acc, g, opts);
         flush_run_accumulator(local, acc.a(run.cell));
       });
 }
 
-void push_guided_runs(Species& sp, const InterpolatorArray& interp,
-                      AccumulatorArray& acc, const Grid& g,
-                      const MoverOptions& opts,
+template <class A>
+void push_guided_runs(Species& sp, const A& a,
+                      const InterpolatorArray& interp, AccumulatorArray& acc,
+                      const Grid& g, const MoverOptions& opts,
                       const std::vector<sort::CellRun>& runs) {
-  constexpr index_t kBlock = 256;
+  constexpr index_t kBlock = kPushBlock;
   const PushConsts c = make_consts(sp, g);
-  auto& pp = sp.p;
   pk::parallel_for(
       "advance_p[guided_runs]", static_cast<index_t>(runs.size()),
       [&](index_t r) {
@@ -463,7 +491,7 @@ void push_guided_runs(Species& sp, const InterpolatorArray& interp,
           const int cnt = static_cast<int>(std::min(rend - n0, kBlock));
           PK_OMP_SIMD
           for (int k = 0; k < cnt; ++k) {
-            const Particle& p = pp(n0 + k);
+            const Particle p = a.load(n0 + k);
             // Interpolation off broadcast scalars: the compiler hoists the
             // 14 ip loads out of the simd loop — no per-lane gather.
             const float ex = ip.ex + p.dy * ip.dexdy +
@@ -488,26 +516,27 @@ void push_guided_runs(Species& sp, const InterpolatorArray& interp,
             dispz[k] = c.cdtdz2 * uz * rg;
           }
           for (int k = 0; k < cnt; ++k) {
-            Particle& p = pp(n0 + k);
+            Particle p = a.load(n0 + k);
             p.ux = nux[k];
             p.uy = nuy[k];
             p.uz = nuz[k];
             finish_move_run(p, dispx[k], dispy[k], dispz[k],
                             c.qw_sign * p.w, local, acc, g, opts);
+            a.store(n0 + k, p);
           }
         }
         flush_run_accumulator(local, acc.a(run.cell));
       });
 }
 
-void push_manual_runs(Species& sp, const InterpolatorArray& interp,
-                      AccumulatorArray& acc, const Grid& g,
-                      const MoverOptions& opts,
+template <class A>
+void push_manual_runs(Species& sp, const A& a,
+                      const InterpolatorArray& interp, AccumulatorArray& acc,
+                      const Grid& g, const MoverOptions& opts,
                       const std::vector<sort::CellRun>& runs) {
-  constexpr int W = 8;
+  constexpr int W = kManualVecWidth;
   using F = simd::simd<float, W>;
   const PushConsts c = make_consts(sp, g);
-  auto& pp = sp.p;
   pk::parallel_for(
       "advance_p[manual_runs]", static_cast<index_t>(runs.size()),
       [&](index_t r) {
@@ -517,10 +546,11 @@ void push_manual_runs(Species& sp, const InterpolatorArray& interp,
         const index_t rend = run.begin + run.count;
         const index_t nfull = run.begin + (run.count / W) * W;
         for (index_t n0 = run.begin; n0 < nfull; n0 += W) {
-          auto rows = simd::load_transpose<float, W>(
-              reinterpret_cast<const float*>(&pp(n0)), 8);
-          F dx = rows[0], dy = rows[1], dz = rows[2];
-          F ux = rows[4], uy = rows[5], uz = rows[6];
+          // Runs start at arbitrary offsets; the accessor's load_vecs
+          // handles the unaligned AoSoA case with a lane gather.
+          const ParticleVecs<W> v = a.template load_vecs<W>(n0);
+          const F dx = v.dx, dy = v.dy, dz = v.dz;
+          F ux = v.ux, uy = v.uy, uz = v.uz;
           // Broadcast the hoisted interpolator: 14 scalar-load broadcasts
           // replacing the generic path's W x 14 indexed gathers.
           const F ex = F(ip.ex) + dy * F(ip.dexdy) +
@@ -557,16 +587,22 @@ void push_manual_runs(Species& sp, const InterpolatorArray& interp,
           const F dispz = F(c.cdtdz2) * uz * rg;
 
           for (int l = 0; l < W; ++l) {
-            Particle& p = pp(n0 + l);
+            Particle p;
+            p.dx = dx[l];
+            p.dy = dy[l];
+            p.dz = dz[l];
+            p.i = v.cell[l];
             p.ux = ux[l];
             p.uy = uy[l];
             p.uz = uz[l];
+            p.w = v.w[l];
             finish_move_run(p, dispx[l], dispy[l], dispz[l],
                             c.qw_sign * p.w, local, acc, g, opts);
+            a.store(n0 + l, p);
           }
         }
         // Ragged sub-W tail of the run.
-        push_run_scalar(pp, ip, c, nfull, rend, local, acc, g, opts);
+        push_run_scalar(a, ip, c, nfull, rend, local, acc, g, opts);
         flush_run_accumulator(local, acc.a(run.cell));
       });
 }
@@ -574,23 +610,22 @@ void push_manual_runs(Species& sp, const InterpolatorArray& interp,
 }  // namespace
 
 bool run_aware_profitable(const Species& sp) {
-  // Tunables (docs/PUSH.md): below kMinParticles the per-run overhead and
-  // segmentation pass dominate; beyond kMaxStale steps since the last
+  // Gates are autotuned per host and per layout (src/tune; defaults in
+  // core/push_tuning.hpp): below min_particles the per-run overhead and
+  // segmentation pass dominate; beyond max_stale steps since the last
   // cell sort the probe is not worth running every step; the probe gates
   // on the estimated mean run length covering the per-run overhead
-  // (hoisted 18-float load + 12-atomic flush amortized over >= ~4
-  // particles).
-  constexpr index_t kMinParticles = 512;
-  constexpr int kMaxStale = 64;
-  constexpr double kMinMeanRun = 4.0;
-  if (sp.np < kMinParticles) return false;
+  // (hoisted 18-float load + 12-atomic flush amortized over the run).
+  const PushGates& gates = active_push_gates(sp.p.layout());
+  if (sp.np < gates.min_particles) return false;
   if (!sp.cell_sorted_hint || sp.steps_since_sort < 0) return false;
   if (sp.steps_since_sort == 0) return true;  // fresh from sort_particles
-  if (sp.steps_since_sort > kMaxStale) return false;
-  const auto& pp = sp.p;
-  const auto probe =
-      sort::probe_runs(sp.np, [&pp](index_t i) { return pp(i).i; });
-  return probe.mean_run_estimate() >= kMinMeanRun;
+  if (sp.steps_since_sort > gates.max_stale) return false;
+  return dispatch_layout(sp.p, [&](auto a) {
+    const auto probe =
+        sort::probe_runs(sp.np, [a](index_t i) { return a.cell(i); });
+    return probe.mean_run_estimate() >= gates.min_mean_run;
+  });
 }
 
 PushPath advance_species(Species& sp, const InterpolatorArray& interp,
@@ -617,42 +652,49 @@ PushPath advance_species(Species& sp, const InterpolatorArray& interp,
           strategy != VectorStrategy::AdHoc && run_aware_profitable(sp);
       break;
   }
+  prof::counter_add(use_runs ? "push.dispatch.run_aware"
+                             : "push.dispatch.generic");
 
   if (use_runs) {
     {
       prof::ScopedRegion seg("segment_runs");
-      const auto& pp = sp.p;
-      sort::segment_runs(sp.np, [&pp](index_t i) { return pp(i).i; },
-                         sp.push_runs);
+      dispatch_layout(sp.p, [&](auto a) {
+        sort::segment_runs(sp.np, [a](index_t i) { return a.cell(i); },
+                           sp.push_runs);
+      });
     }
-    switch (strategy) {
-      case VectorStrategy::Auto:
-        push_auto_runs(sp, interp, acc, g, opts, sp.push_runs);
-        break;
-      case VectorStrategy::Guided:
-        push_guided_runs(sp, interp, acc, g, opts, sp.push_runs);
-        break;
-      case VectorStrategy::Manual:
-        push_manual_runs(sp, interp, acc, g, opts, sp.push_runs);
-        break;
-      case VectorStrategy::AdHoc:
-        break;  // unreachable: filtered above
-    }
+    dispatch_layout(sp.p, [&](auto a) {
+      switch (strategy) {
+        case VectorStrategy::Auto:
+          push_auto_runs(sp, a, interp, acc, g, opts, sp.push_runs);
+          break;
+        case VectorStrategy::Guided:
+          push_guided_runs(sp, a, interp, acc, g, opts, sp.push_runs);
+          break;
+        case VectorStrategy::Manual:
+          push_manual_runs(sp, a, interp, acc, g, opts, sp.push_runs);
+          break;
+        case VectorStrategy::AdHoc:
+          break;  // unreachable: filtered above
+      }
+    });
   } else {
-    switch (strategy) {
-      case VectorStrategy::Auto:
-        push_auto(sp, interp, acc, g, opts);
-        break;
-      case VectorStrategy::Guided:
-        push_guided(sp, interp, acc, g, opts);
-        break;
-      case VectorStrategy::Manual:
-        push_manual(sp, interp, acc, g, opts);
-        break;
-      case VectorStrategy::AdHoc:
-        push_adhoc(sp, interp, acc, g, opts);
-        break;
-    }
+    dispatch_layout(sp.p, [&](auto a) {
+      switch (strategy) {
+        case VectorStrategy::Auto:
+          push_auto(sp, a, interp, acc, g, opts);
+          break;
+        case VectorStrategy::Guided:
+          push_guided(sp, a, interp, acc, g, opts);
+          break;
+        case VectorStrategy::Manual:
+          push_manual(sp, a, interp, acc, g, opts);
+          break;
+        case VectorStrategy::AdHoc:
+          push_adhoc(sp, a, interp, acc, g, opts);
+          break;
+      }
+    });
   }
   // Pushing moves particles across cells: age the sortedness hint.
   sp.mark_order_degraded();
@@ -669,33 +711,39 @@ void advance_species_runs(Species& sp, const InterpolatorArray& interp,
     throw std::logic_error(
         "advance_species_runs: opts.exits requires opts.exits_mutex when "
         "the default execution space is concurrent");
-  switch (strategy) {
-    case VectorStrategy::Auto:
-      push_auto_runs(sp, interp, acc, g, opts, runs);
-      break;
-    case VectorStrategy::Guided:
-      push_guided_runs(sp, interp, acc, g, opts, runs);
-      break;
-    case VectorStrategy::Manual:
-      push_manual_runs(sp, interp, acc, g, opts, runs);
-      break;
-    case VectorStrategy::AdHoc:
-      throw std::invalid_argument(
-          "advance_species_runs: AdHoc has no run-aware variant");
-  }
+  if (strategy == VectorStrategy::AdHoc)
+    throw std::invalid_argument(
+        "advance_species_runs: AdHoc has no run-aware variant");
+  dispatch_layout(sp.p, [&](auto a) {
+    switch (strategy) {
+      case VectorStrategy::Auto:
+        push_auto_runs(sp, a, interp, acc, g, opts, runs);
+        break;
+      case VectorStrategy::Guided:
+        push_guided_runs(sp, a, interp, acc, g, opts, runs);
+        break;
+      case VectorStrategy::Manual:
+        push_manual_runs(sp, a, interp, acc, g, opts, runs);
+        break;
+      case VectorStrategy::AdHoc:
+        break;  // unreachable: thrown above
+    }
+  });
 }
 
 index_t compact_exited(Species& sp) {
-  index_t out = 0;
-  for (index_t n = 0; n < sp.np; ++n) {
-    if (sp.p(n).i >= 0) {
-      if (out != n) sp.p(out) = sp.p(n);
-      ++out;
+  return dispatch_layout(sp.p, [&](auto a) {
+    index_t out = 0;
+    for (index_t n = 0; n < sp.np; ++n) {
+      if (a.cell(n) >= 0) {
+        if (out != n) a.store(out, a.load(n));
+        ++out;
+      }
     }
-  }
-  const index_t removed = sp.np - out;
-  sp.np = out;
-  return removed;
+    const index_t removed = sp.np - out;
+    sp.np = out;
+    return removed;
+  });
 }
 
 }  // namespace vpic::core

@@ -36,7 +36,7 @@ void Simulation::load_uniform_plasma(std::size_t species_idx, int ppc,
           // puts the species plasma frequency at 1/dt-independent omega_p=1
           // (cell sizes are in units of c/omega_p).
           p.w = 1.0f / static_cast<float>(ppc);
-          sp.p(n++) = p;
+          sp.p.set(n++, p);
         }
       }
   sp.np = n;
@@ -284,7 +284,7 @@ pk::View<double, 1> Simulation::charge_density() const {
   const double inv_v = 1.0 / (static_cast<double>(g.dx) * g.dy * g.dz);
   for (const auto& sp : species_) {
     for (index_t n = 0; n < sp.np; ++n) {
-      const Particle& p = sp.p(n);
+      const Particle p = sp.p.get(n);
       int ix, iy, iz;
       g.cell_of(p.i, ix, iy, iz);
       // Trilinear node deposit (nodes = cell corners).

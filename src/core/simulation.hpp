@@ -32,6 +32,14 @@
 #include "pk/instance.hpp"
 #include "prof/prof.hpp"
 
+namespace vpic::tune {
+// Startup autotuning hook (src/tune/tune.hpp). Forward-declared so core —
+// which the tune library links against — can trigger it without an include
+// cycle; the symbol resolves when the final binary links vpic_tune.
+struct TuneState;
+const TuneState& ensure_initialized();
+}  // namespace vpic::tune
+
 namespace vpic::core {
 
 /// How Simulation::step() is executed (docs/ASYNC.md).
@@ -59,6 +67,12 @@ inline const char* to_string(StepScheduler s) noexcept {
 struct SimulationConfig {
   Grid grid;
   VectorStrategy strategy = VectorStrategy::Auto;
+  // Physical particle layout for every species added through add_species
+  // (AoS / SoA / AoSoA, see core/particle_store.hpp and docs/LAYOUT.md).
+  // Excluded from config_fingerprint(): the layout changes memory
+  // placement, not physics, so a checkpoint written under one layout
+  // restores under any other.
+  ParticleLayout layout = ParticleLayout::AoS;
   // Push pipeline: AutoDetect engages the run-aware fast path while the
   // particle array is (still) cell-sorted; Generic pins the per-particle
   // kernels; RunAware forces the fast path (docs/PUSH.md).
@@ -101,12 +115,16 @@ class Simulation {
       : cfg_(cfg),
         fields_(cfg.grid),
         interp_(cfg.grid),
-        acc_(cfg.grid) {}
+        acc_(cfg.grid) {
+    // Calibrate (or load) the hot-path dispatch models before the first
+    // step so AutoDetect pushes and sort dispatch run with measured gates.
+    tune::ensure_initialized();
+  }
 
   /// Add a species with given charge/mass and capacity; returns its index.
   std::size_t add_species(std::string name, float q, float m,
                           index_t capacity) {
-    species_.emplace_back(std::move(name), q, m, capacity);
+    species_.emplace_back(std::move(name), q, m, capacity, cfg_.layout);
     return species_.size() - 1;
   }
 

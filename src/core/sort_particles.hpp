@@ -10,9 +10,13 @@
 //    persistent SortWorkspace (grown geometrically, reused thereafter);
 //  * cell keys are bounded by grid.nv(), so the sort is a single-pass
 //    counting sort (histogram + scan + stable scatter) rather than a
-//    multi-pass radix sort whenever that bound is small relative to np —
-//    and the scatter moves the 32-byte particle records directly, with no
-//    intermediate permutation array;
+//    multi-pass radix sort whenever the *measured* dispatch model
+//    (core/push_tuning.hpp: active_sort_model(), calibrated by src/tune)
+//    says the histogram traffic is cheap relative to np. For AoS the
+//    scatter moves the 32-byte particle records directly with no
+//    intermediate permutation array; SoA/AoSoA scatter a permutation and
+//    gather through the layout accessor (a record is not one contiguous
+//    32-byte span there);
 //  * the reorder gathers into the species' scratch particle buffer which
 //    is then swapped with `p` (ping-pong), eliminating the copy-back pass.
 //
@@ -21,6 +25,7 @@
 #pragma once
 
 #include "core/particle.hpp"
+#include "core/push_tuning.hpp"
 #include "prof/prof.hpp"
 #include "sort/counting.hpp"
 #include "sort/order_checks.hpp"
@@ -49,9 +54,19 @@ inline void sort_particles(Species& sp, sort::SortOrder order,
   ws.reserve_pairs(n);
   const int nthreads = pk::DefaultExecSpace::concurrency();
 
-  Particle* const src = sp.p.data();
-  pk::View<Particle, 1>& scratch = sp.sort_scratch();
-  Particle* const dst = scratch.data();
+  ParticleStore& scratch = sp.sort_scratch();
+
+  // Layout-generic permutation gather: dst[i] = src[perm[i]]. AoS moves
+  // whole records through the raw pointers; SoA/AoSoA go through the
+  // accessor pair (still one pass, 8 lane moves per particle).
+  auto gather_perm = [&](const char* kernel, const index_t* perm) {
+    dispatch_layout(sp.p, [&](auto sa) {
+      dispatch_layout(scratch, [&](auto da) {
+        pk::parallel_for(kernel, n,
+                         [=](index_t i) { da.store(i, sa.load(perm[i])); });
+      });
+    });
+  };
 
   if (order == sort::SortOrder::Random) {
     // Permutation-only Fisher-Yates (same swap sequence the pair shuffle
@@ -70,8 +85,7 @@ inline void sort_particles(Species& sp, sort::SortOrder order,
           static_cast<index_t>(next() % static_cast<std::uint64_t>(i + 1));
       std::swap(perm[i], perm[j]);
     }
-    pk::parallel_for("sort/shuffle_gather", n,
-                     [=](index_t i) { dst[i] = src[perm[i]]; });
+    gather_perm("sort/shuffle_gather", perm);
     std::swap(sp.p, sp.p_scratch);
     return;
   }
@@ -118,14 +132,32 @@ inline void sort_particles(Species& sp, sort::SortOrder order,
       break;  // handled above
   }
 
-  if (sort::counting_sort_applicable(n, bound, nthreads)) {
-    // One-pass counting sort scattering the particle records directly:
-    // no permutation array, no copy-back.
+  // Counting-vs-radix dispatch: the hard applicability limits stay
+  // structural inside counting_sort_applicable; the cost crossover is the
+  // measured sort::active_sort_model() the autotuner calibrates.
+  const bool use_counting = sort::counting_sort_applicable(n, bound, nthreads);
+  prof::counter_add(use_counting ? "sort.dispatch.counting"
+                                 : "sort.dispatch.radix");
+
+  if (use_counting) {
     const index_t b = static_cast<index_t>(bound);
     index_t* offsets =
         ws.reserve_histogram(sort::detail::counting_hist_cells(nthreads, b));
     sort::detail::counting_offsets(keys, n, b, offsets, nthreads);
-    sort::detail::counting_scatter(keys, src, n, b, offsets, nthreads, dst);
+    if (sp.p.layout() == ParticleLayout::AoS &&
+        scratch.layout() == ParticleLayout::AoS) {
+      // One-pass counting sort scattering the particle records directly:
+      // no permutation array, no copy-back.
+      sort::detail::counting_scatter(keys, sp.p.data(), n, b, offsets,
+                                     nthreads, scratch.data());
+    } else {
+      // Non-contiguous record layouts: scatter the permutation, then one
+      // accessor gather.
+      index_t* const perm = ws.perm.data();
+      sort::detail::counting_scatter_index(keys, n, b, offsets, nthreads,
+                                           perm);
+      gather_perm("sort/counting_gather", perm);
+    }
   } else {
     // General fallback: radix argsort out of the workspace buffers, then
     // one gather of the particle records.
@@ -137,8 +169,7 @@ inline void sort_particles(Species& sp, sort::SortOrder order,
         ws.reserve_histogram(static_cast<std::size_t>(nthreads) * 256);
     sort::detail::radix_passes(keys, perm, keys_alt, ws.perm_alt.data(), n,
                                passes, offsets, nthreads);
-    pk::parallel_for("sort/radix_gather", n,
-                     [=](index_t i) { dst[i] = src[perm[i]]; });
+    gather_perm("sort/radix_gather", perm);
   }
   std::swap(sp.p, sp.p_scratch);
 }

@@ -63,10 +63,17 @@ PushResult model_push(const DeviceSpec& dev,
       params.accum_record);
 
   // Particle array: streaming read + write, bypasses the modeled LLC.
-  const StreamStats pread =
-      analyze_streaming(n, params.particle_bytes, dev);
-  const StreamStats pwrite =
-      analyze_streaming(n, params.particle_bytes, dev);
+  const int precord = params.particle_bytes();
+  const StreamStats pread = analyze_streaming(n, precord, dev);
+  const StreamStats pwrite = analyze_streaming(n, precord, dev);
+
+  // Run-aware only: the segmentation sweep that finds same-cell runs reads
+  // every particle's cell index once — a full extra record stream through
+  // AoS, a dense 4 B/particle plane for SoA/AoSoA (the honesty fix the
+  // layout work makes visible; core/particle_layout.hpp).
+  StreamStats keyscan{};
+  if (params.run_aware)
+    keyscan = analyze_streaming(n, params.key_read_bytes(), dev);
 
   KernelProfile p;
   p.threads = n;
@@ -74,16 +81,21 @@ PushResult model_push(const DeviceSpec& dev,
   const auto lb = static_cast<std::uint64_t>(dev.line_bytes);
   // Scatter RMW moves each line twice (read + write-back).
   p.dram_bytes = (gather.dram_lines + 2 * scatter.dram_lines +
-                  pread.dram_lines + pwrite.dram_lines) *
+                  pread.dram_lines + pwrite.dram_lines +
+                  keyscan.dram_lines) *
                  lb;
   p.llc_bytes = (gather.llc_lines + 2 * scatter.llc_lines) * lb;
   p.transactions = gather.transactions + scatter.transactions +
-                   pread.transactions + pwrite.transactions;
-  p.warp_rounds =
-      gather.warps + scatter.warps + pread.warps + pwrite.warps;
+                   pread.transactions + pwrite.transactions +
+                   keyscan.transactions;
+  p.warp_rounds = gather.warps + scatter.warps + pread.warps +
+                  pwrite.warps + keyscan.warps;
   p.atomic_serial = scatter.atomic_conflicts + scatter.window_conflicts;
   p.logical_bytes =
-      n * static_cast<std::uint64_t>(2 * params.particle_bytes) +
+      n * static_cast<std::uint64_t>(2 * precord) +
+      (params.run_aware
+           ? n * static_cast<std::uint64_t>(params.key_read_bytes())
+           : std::uint64_t{0}) +
       n_idx * static_cast<std::uint64_t>(params.interp_record +
                                          2 * params.accum_record);
 

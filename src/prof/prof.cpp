@@ -58,6 +58,8 @@ struct State {
   std::unordered_map<const void*, std::uint64_t> live_allocs;
   AllocStats alloc;
 
+  std::unordered_map<std::string, std::uint64_t> counters;
+
   std::atomic<std::uint64_t> fences{0};
   std::atomic<std::uint64_t> async_dispatches{0};
 
@@ -313,6 +315,19 @@ void push_region(const char* name) { pk::prof::region_push(name); }
 
 void pop_region() { pk::prof::region_pop(); }
 
+void counter_add(const char* name, std::uint64_t delta) noexcept {
+  State& s = S();
+  std::lock_guard lk(s.mu);
+  s.counters[name] += delta;
+}
+
+std::uint64_t counter_value(const std::string& name) {
+  State& s = S();
+  std::lock_guard lk(s.mu);
+  const auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0 : it->second;
+}
+
 Report report() {
   State& s = S();
   Report r;
@@ -333,6 +348,8 @@ Report report() {
             [](const RegionStats& a, const RegionStats& b) {
               return a.path < b.path;
             });
+  r.counters.assign(s.counters.begin(), s.counters.end());
+  std::sort(r.counters.begin(), r.counters.end());
   r.alloc = s.alloc;
   r.open_regions = s.open_regions.load(std::memory_order_relaxed);
   r.unbalanced_pops = s.unbalanced_pops;
@@ -351,6 +368,7 @@ void reset() {
   s.unbalanced_pops = 0;
   s.live_allocs.clear();
   s.alloc = AllocStats{};
+  s.counters.clear();
   s.fences.store(0, std::memory_order_relaxed);
   s.async_dispatches.store(0, std::memory_order_relaxed);
   s.base = steady::now();
@@ -391,7 +409,16 @@ std::string Report::to_json() const {
     j += ",\"mean_s\":" + fmt_double(r.mean_s());
     j += "}";
   }
-  j += "],\"alloc\":{\"allocs\":" + std::to_string(alloc.allocs);
+  j += "],\"counters\":{";
+  first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) j += ",";
+    first = false;
+    j += "\"";
+    json_escape_into(j, name);
+    j += "\":" + std::to_string(value);
+  }
+  j += "},\"alloc\":{\"allocs\":" + std::to_string(alloc.allocs);
   j += ",\"deallocs\":" + std::to_string(alloc.deallocs);
   j += ",\"unmatched_deallocs\":" + std::to_string(alloc.unmatched_deallocs);
   j += ",\"live_bytes\":" + std::to_string(alloc.live_bytes);
@@ -424,6 +451,11 @@ std::string Report::human_table() const {
                   static_cast<int>(wpath), r.path.c_str(),
                   static_cast<unsigned long long>(r.count), r.total_s * 1e3,
                   r.self_s() * 1e3, r.min_s * 1e3, r.max_s * 1e3);
+    out += line;
+  }
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "counter %-40s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
     out += line;
   }
   std::snprintf(line, sizeof(line),

@@ -25,6 +25,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vpic::prof {
@@ -52,6 +53,16 @@ void disable();
 /// ignored; regions never closed are visible as Report::open_regions.
 void push_region(const char* name);
 void pop_region();
+
+/// Named event counters. Unlike regions these are *always on* (a counter
+/// costs one short critical section, and callers fire them per dispatch
+/// decision, not per particle), so rare events — which path the push
+/// dispatcher chose, whether the sort went counting or radix, whether the
+/// autotune cache hit / was corrupt — stay observable even with VPIC_PROF
+/// unset. Counters appear in Report::counters, to_json() and the summary
+/// table; reset() clears them.
+void counter_add(const char* name, std::uint64_t delta = 1) noexcept;
+[[nodiscard]] std::uint64_t counter_value(const std::string& name);
 
 /// RAII region. The optional `sink` accumulates the region's wall time
 /// even when profiling is off — it is how Simulation keeps its legacy
@@ -105,6 +116,7 @@ struct AllocStats {
 struct Report {
   Mode mode = Mode::Off;
   std::vector<RegionStats> regions;  // sorted by path
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  // by name
   AllocStats alloc;
   std::uint64_t open_regions = 0;      // pushed but not yet popped
   std::uint64_t unbalanced_pops = 0;   // pops with empty stack

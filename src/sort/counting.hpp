@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "pk/pk.hpp"
+#include "sort/dispatch_model.hpp"
 #include "sort/workspace.hpp"
 
 namespace vpic::sort {
@@ -36,20 +37,16 @@ inline constexpr std::uint64_t kMaxCountingBound = std::uint64_t{1} << 30;
 /// beat the multi-pass radix fallback for n elements? Two costs scale with
 /// the bound: the O((nthreads + 1) * key_bound) zero/scan work, and the
 /// scatter's write-stream spread (one open cache line per bucket, vs 256
-/// per radix pass) — measured break-even on one core sits near
-/// key_bound ~ n/16, hence the n/8 budget on the histogram cells. The
-/// floor (2^18 cells) admits the common PIC case of a few thousand
-/// particles over a few thousand cells, where the scan costs microseconds
-/// either way. PIC cell keys (ppc >= 8, so nv <= n/8) stay comfortably
-/// inside the winning regime.
+/// per radix pass). The hard limits (n > 0, bound fits the histogram) are
+/// structural; the cost crossover itself is the measured
+/// sort::active_sort_model() (dispatch_model.hpp), seeded with the legacy
+/// n/8-budget / 2^18-floor defaults and calibrated per host by the
+/// autotuner (src/tune). PIC cell keys (ppc >= 8, so nv <= n/8) stay
+/// comfortably inside the winning regime under any sane calibration.
 inline bool counting_sort_applicable(index_t n, std::uint64_t key_bound,
                                      int nthreads) noexcept {
   if (n <= 0 || key_bound == 0 || key_bound > kMaxCountingBound) return false;
-  const double cells =
-      static_cast<double>(nthreads + 1) * static_cast<double>(key_bound);
-  const double budget = std::max(static_cast<double>(n) / 8.0,
-                                 static_cast<double>(index_t{1} << 18));
-  return cells <= budget;
+  return active_sort_model().counting_applicable(n, key_bound, nthreads);
 }
 
 namespace detail {

@@ -1,0 +1,50 @@
+// sort/dispatch_model.hpp
+//
+// The counting-vs-radix dispatch cost model, as *data* rather than as
+// hard-coded literals. Historically the crossover lived as magic numbers
+// inside counting_sort_applicable (n/8 histogram budget, 2^18 cell
+// floor); now the same inequality reads its coefficients from a mutable
+// process-wide registry seeded with those legacy defaults and calibrated
+// at startup by the autotuner (src/tune) from timed micro-probes on the
+// actual host. Header-only and pk-only so both the sort library and the
+// engine share one model with no layering cycle.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "pk/layout.hpp"
+
+namespace vpic::sort {
+
+using pk::index_t;
+
+/// Cost model for the counting-vs-radix sort dispatch: counting sort is
+/// expected to win when the histogram work, (nthreads + 1) * key_bound
+/// cells, stays within max(n * cells_per_n, cells_floor). The defaults
+/// encode the legacy hand-picked n/8 budget with a 2^18-cell floor; the
+/// autotuner re-derives both from timed probes (clamped to
+/// [1/64, 1] and [2^14, 2^22] respectively).
+struct SortDispatchModel {
+  double cells_per_n = 1.0 / 8.0;
+  double cells_floor = static_cast<double>(index_t{1} << 18);
+
+  [[nodiscard]] bool counting_applicable(index_t n, std::uint64_t key_bound,
+                                         int nthreads) const noexcept {
+    const double cells =
+        static_cast<double>(nthreads + 1) * static_cast<double>(key_bound);
+    const double budget =
+        std::max(static_cast<double>(n) * cells_per_n, cells_floor);
+    return cells <= budget;
+  }
+};
+
+/// Process-wide active model. sort_by_key and core::sort_particles read
+/// it on every dispatch; the autotuner (or a test pinning behavior)
+/// writes it.
+inline SortDispatchModel& active_sort_model() noexcept {
+  static SortDispatchModel model = {};
+  return model;
+}
+
+}  // namespace vpic::sort

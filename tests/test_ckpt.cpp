@@ -56,7 +56,9 @@ fs::path scratch(const std::string& tag) {
 
 /// Small LPI deck (the issue's bit-identity workload) with energy
 /// diagnostics on, cheap enough for 100-step test runs.
-core::Simulation make_lpi_small(std::uint64_t seed = 42) {
+core::Simulation make_lpi_small(
+    std::uint64_t seed = 42,
+    core::ParticleLayout layout = core::ParticleLayout::AoS) {
   core::decks::LpiParams p;
   p.nx = 12;
   p.ny = 4;
@@ -64,9 +66,17 @@ core::Simulation make_lpi_small(std::uint64_t seed = 42) {
   p.ppc = 2;
   p.sort_interval = 10;
   p.seed = seed;
+  p.layout = layout;
   auto sim = core::decks::make_lpi(p);
   sim.config().energy_interval = 5;
   return sim;
+}
+
+/// Canonical-AoS particle bytes of a species, valid for every layout.
+std::vector<core::Particle> canon_particles(const core::Species& sp) {
+  std::vector<core::Particle> out(static_cast<std::size_t>(sp.np));
+  sp.p.export_aos(out.data(), sp.np);
+  return out;
 }
 
 std::vector<std::byte> view_bytes(const pk::View<float, 1>& v) {
@@ -94,7 +104,11 @@ void expect_bit_identical(core::Simulation& a, core::Simulation& b) {
     const auto& sa = a.species(s);
     const auto& sb = b.species(s);
     ASSERT_EQ(sa.np, sb.np) << "species " << sa.name;
-    EXPECT_EQ(std::memcmp(sa.p.data(), sb.p.data(),
+    // Compare in canonical AoS order: valid for every particle layout,
+    // including cross-layout pairs (restore may retarget the layout).
+    const auto pa = canon_particles(sa);
+    const auto pb = canon_particles(sb);
+    EXPECT_EQ(std::memcmp(pa.data(), pb.data(),
                           static_cast<std::size_t>(sa.np) *
                               sizeof(core::Particle)),
               0)
@@ -464,6 +478,48 @@ TEST(SimCkpt, BitIdenticalResumeOnLpi) {
   EXPECT_EQ(resumed.step_count(), 50);
   resumed.run(50);
   expect_bit_identical(resumed, ref);
+}
+
+TEST(SimCkpt, NonAosRoundTripAndCrossLayoutRestore) {
+  // The on-disk particle stream is canonical AoS whatever the in-memory
+  // layout (docs/LAYOUT.md): a non-AoS species must round-trip
+  // bit-identically, and the same file must restore into a simulation
+  // running a *different* layout (the layout is deliberately not part of
+  // the config fingerprint).
+  for (const auto layout :
+       {core::ParticleLayout::SoA, core::ParticleLayout::AoSoA}) {
+    SCOPED_TRACE(core::to_string(layout));
+    const auto dir =
+        scratch(std::string("nonaos_") + core::to_string(layout));
+    const std::string path = (dir / "mid.ckpt").string();
+
+    auto ref = make_lpi_small(42, layout);
+    ref.run(40);
+
+    auto victim = make_lpi_small(42, layout);
+    victim.run(20);
+    EXPECT_GT(victim.checkpoint(path), 0u);
+    victim.run(20);
+    expect_bit_identical(victim, ref);
+
+    // Same-layout resume.
+    auto resumed = make_lpi_small(42, layout);
+    resumed.restore(path);
+    EXPECT_EQ(resumed.step_count(), 20);
+    EXPECT_EQ(resumed.species(0).p.layout(), layout);
+    resumed.run(20);
+    expect_bit_identical(resumed, ref);
+
+    // Cross-layout restore: an AoS deck consumes the non-AoS-written
+    // file. Physics stays bit-identical because every kernel reads the
+    // same particle values through its layout accessor.
+    auto cross = make_lpi_small(42, core::ParticleLayout::AoS);
+    cross.restore(path);
+    EXPECT_EQ(cross.step_count(), 20);
+    EXPECT_EQ(cross.species(0).p.layout(), core::ParticleLayout::AoS);
+    cross.run(20);
+    expect_bit_identical(cross, ref);
+  }
 }
 
 TEST(SimCkpt, RestoreRejectsWrongDeck) {

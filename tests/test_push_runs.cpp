@@ -32,13 +32,16 @@ std::vector<vs::CellRun> runs_of(const std::vector<std::uint32_t>& keys) {
 /// A small thermal plasma on a 6^3 grid; ppc 4 gives 864 particles, above
 /// the dispatch heuristic's minimum population.
 core::Simulation make_sim(core::VectorStrategy strat, int ppc = 4,
-                          std::uint64_t seed = 7) {
+                          std::uint64_t seed = 7,
+                          core::ParticleLayout layout =
+                              core::ParticleLayout::AoS) {
   core::SimulationConfig cfg;
   cfg.grid = core::Grid(6, 6, 6, 6, 6, 6, 0);
   cfg.grid.dt = core::Grid::courant_dt(1, 1, 1, 0.65f);
   cfg.strategy = strat;
   cfg.sort_interval = 0;
   cfg.seed = seed;
+  cfg.layout = layout;
   core::Simulation sim(cfg);
   const auto s = sim.add_species("e", -1.0f, 1.0f,
                                  static_cast<index_t>(6 * 6 * 6 * ppc));
@@ -54,7 +57,7 @@ void adversarial_order(core::Species& sp, index_t key_bound) {
   std::vector<vs::CellRun> runs;
   const auto& pp = sp.p;
   vs::segment_runs(
-      sp.np, [&pp](index_t i) { return pp(i).i; }, runs);
+      sp.np, [&pp](index_t i) { return pp.cell(i); }, runs);
   std::vector<core::Particle> shuffled;
   shuffled.reserve(static_cast<std::size_t>(sp.np));
   std::vector<index_t> taken(runs.size(), 0);
@@ -63,9 +66,9 @@ void adversarial_order(core::Species& sp, index_t key_bound) {
        ++round)
     for (std::size_t r = 0; r < runs.size(); ++r)
       if (round < runs[r].count)
-        shuffled.push_back(sp.p(runs[r].begin + round));
+        shuffled.push_back(sp.p.get(runs[r].begin + round));
   for (index_t i = 0; i < sp.np; ++i)
-    sp.p(i) = shuffled[static_cast<std::size_t>(i)];
+    sp.p.set(i, shuffled[static_cast<std::size_t>(i)]);
   sp.mark_sorted(false);
 }
 
@@ -79,15 +82,15 @@ PushOutcome push_once(core::Simulation& sim,
                       const std::vector<core::Particle>& initial,
                       core::VectorStrategy strat, core::PushPath path) {
   auto& sp = sim.species(0);
-  for (index_t i = 0; i < sp.np; ++i)
-    sp.p(i) = initial[static_cast<std::size_t>(i)];
+  sp.p.import_aos(initial.data(), sp.np);
   sim.interpolator().load(sim.fields());
   sim.accumulator().clear();
   PushOutcome out;
   out.path = core::advance_species(sp, sim.interpolator(),
                                    sim.accumulator(), sim.grid(), strat,
                                    {}, path);
-  out.particles.assign(sp.p.data(), sp.p.data() + sp.np);
+  out.particles.resize(static_cast<std::size_t>(sp.np));
+  sp.p.export_aos(out.particles.data(), sp.np);
   const auto& a = sim.accumulator().a;
   for (index_t v = 0; v < a.size(); ++v)
     for (int c = 0; c < 4; ++c) {
@@ -189,14 +192,16 @@ TEST(RunProbe, ExhaustiveLimitMatchesSortednessOracle) {
 // ----------------------------------------------------------------------
 
 class RunAwareEquivalence
-    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
 
 TEST_P(RunAwareEquivalence, MatchesGenericPush) {
   const auto strat =
       static_cast<core::VectorStrategy>(std::get<0>(GetParam()));
   const int order = std::get<1>(GetParam());
+  const core::ParticleLayout layout =
+      core::kAllParticleLayouts[std::get<2>(GetParam())];
 
-  auto sim = make_sim(strat);
+  auto sim = make_sim(strat, 4, 7, layout);
   auto& sp = sim.species(0);
   switch (order) {
     case 0:  // cell-sorted: the fast path's home turf
@@ -210,8 +215,8 @@ TEST_P(RunAwareEquivalence, MatchesGenericPush) {
       adversarial_order(sp, sim.grid().nv());
       break;
   }
-  const std::vector<core::Particle> initial(sp.p.data(),
-                                            sp.p.data() + sp.np);
+  std::vector<core::Particle> initial(static_cast<std::size_t>(sp.np));
+  sp.p.export_aos(initial.data(), sp.np);
 
   const PushOutcome generic =
       push_once(sim, initial, strat, core::PushPath::Generic);
@@ -240,18 +245,20 @@ TEST_P(RunAwareEquivalence, MatchesGenericPush) {
 
 namespace {
 std::string equivalence_name(
-    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+    const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
   static const char* strats[] = {"Auto", "Guided", "Manual"};
   static const char* orders[] = {"Sorted", "Random", "Adversarial"};
+  static const char* layouts[] = {"AoS", "SoA", "AoSoA"};
   return std::string(strats[std::get<0>(info.param)]) +
-         orders[std::get<1>(info.param)];
+         orders[std::get<1>(info.param)] + layouts[std::get<2>(info.param)];
 }
 }  // namespace
 
 INSTANTIATE_TEST_SUITE_P(
-    StrategiesByOrders, RunAwareEquivalence,
+    StrategiesByOrdersByLayouts, RunAwareEquivalence,
     ::testing::Combine(::testing::Range(0, 3),   // Auto, Guided, Manual
-                       ::testing::Range(0, 3)),  // sorted/random/adversarial
+                       ::testing::Range(0, 3),   // sorted/random/adversarial
+                       ::testing::Range(0, core::kNumParticleLayouts)),
     equivalence_name);
 
 // ----------------------------------------------------------------------
@@ -365,12 +372,20 @@ TEST(PushDispatch, StaleOrTinyPopulationsFallBackToGeneric) {
   auto& sp = sim.species(0);
   core::sort_particles(sp, vs::SortOrder::Standard, 0, 1, sim.grid().nv());
 
+  // This test exercises the gate *logic*, so pin the gates to the built-in
+  // defaults — the autotuner (run by the Simulation constructor) installs
+  // host-measured values that may legally admit smaller populations.
+  const core::PushGates tuned = core::active_push_gates(sp.p.layout());
+  core::active_push_gates(sp.p.layout()) = core::PushGates{};
+
   sp.steps_since_sort = 1000;  // far past the staleness window
   EXPECT_FALSE(core::run_aware_profitable(sp));
 
   sp.steps_since_sort = 0;
   sp.np = 100;  // below the minimum population
   EXPECT_FALSE(core::run_aware_profitable(sp));
+
+  core::active_push_gates(sp.p.layout()) = tuned;
 }
 
 TEST(PushDispatch, StaleHintReprobesActualOrder) {
