@@ -6,6 +6,13 @@
 // cooperating per simulation): gang = 1 is naive batching; the sweet spot
 // is the smallest gang whose per-GPU grid share fits the LLC — superlinear
 // speedup outruns the lost concurrency.
+//
+// Emits BENCH_ext_batch.json (schema vpic-bench-v1): one record per
+// (device, gang size) sweep point plus a per-device summary carrying the
+// best gang and its speedup over naive batching; self-validates with the
+// shared validator before exiting.
+#include <string>
+
 #include "bench_common.hpp"
 #include "gpusim/gpusim.hpp"
 
@@ -52,12 +59,37 @@ int main(int argc, char** argv) {
              bench::fmt("%.3f", p.step_seconds_per_sim * 1e3),
              bench::fmt("%.2f", p.sims_per_second),
              p.grid_fits_llc ? "yes" : "no"});
+      bench::Json("ext_batch")
+          .field("device", name)
+          .field("gang_size", p.gang_size)
+          .field("concurrent_sims", p.concurrent_gangs)
+          .field("step_ms_per_sim", p.step_seconds_per_sim * 1e3)
+          .field("sims_per_second", p.sims_per_second)
+          .field("grid_fits_llc", p.grid_fits_llc ? 1 : 0)
+          .print();
     }
     t.print();
     const double naive = pts.front().sims_per_second;
     std::printf("  best gang (%d GPUs/sim) yields %.2fx the naive batch "
                 "throughput\n\n",
                 best_gang, best / naive);
+    bench::Json("ext_batch")
+        .field("device", name)
+        .field("summary", 1)
+        .field("total_gpus", total_gpus)
+        .field("grid_points", static_cast<double>(grid))
+        .field("best_gang", best_gang)
+        .field("best_sims_per_second", best)
+        .field("speedup_over_naive", naive > 0 ? best / naive : 0)
+        .print();
   }
+
+  const std::string path = bench::emit_bench_json("ext_batch");
+  std::string err;
+  if (path.empty() || !bench::validate_bench_report(path, &err)) {
+    std::fprintf(stderr, "bench report validation failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (schema vpic-bench-v1, validated)\n", path.c_str());
   return 0;
 }

@@ -4,16 +4,29 @@
 // between fields and particles as the island grows.
 //
 //   ./magnetic_reconnection [steps]
+//   ./magnetic_reconnection --check [steps]   # physics regression mode
+//
+// With --check the deck runs as a ctest physics regression: total energy
+// (fields + particles) must be conserved to a relative drift bound and
+// the island seed must actually grow; either failure exits nonzero.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/core.hpp"
 
 int main(int argc, char** argv) {
   using namespace vpic;
   pk::initialize();
-  const int steps = argc > 1 ? std::atoi(argv[1]) : 150;
+  bool check = false;
+  int steps = 150;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0)
+      check = true;
+    else
+      steps = std::atoi(argv[i]);
+  }
 
   core::decks::ReconnectionParams p;
   p.nx = 32;
@@ -22,6 +35,7 @@ int main(int argc, char** argv) {
   p.ppc = 8;
   p.strategy = core::VectorStrategy::Guided;
   auto sim = core::decks::make_reconnection(p);
+  if (check) sim.config().energy_interval = 5;
 
   std::printf(
       "Harris sheet: %dx%dx%d cells, B0=%.2f, sheet half-width %.1f cells, "
@@ -48,9 +62,26 @@ int main(int argc, char** argv) {
     if (burst < steps) sim.run(std::min(25, steps - burst));
   }
 
+  const bool growing = max_bz() > 2.0f * p.perturbation * p.b0;
   std::printf("\nreconnection proxy: max|Bz| grew from the %.1e seed — the "
               "island is %s\n",
               static_cast<double>(p.perturbation * p.b0),
-              max_bz() > 2.0f * p.perturbation * p.b0 ? "growing" : "static");
+              growing ? "growing" : "static");
+
+  if (check) {
+    // Physics regression: the explicit leapfrog/Yee scheme conserves
+    // total energy to discretization error. The bound is loose enough
+    // for float fields over a few hundred steps yet tight enough that a
+    // broken deposit, push, or field solve trips it immediately.
+    constexpr double kMaxDrift = 0.05;
+    const double drift = sim.energy_history().max_relative_drift();
+    std::printf("check: relative energy drift %.3e (bound %.1e), island %s\n",
+                drift, kMaxDrift, growing ? "growing" : "STATIC");
+    if (!(drift < kMaxDrift) || !growing) {
+      std::fprintf(stderr, "physics regression FAILED\n");
+      return 1;
+    }
+    std::printf("physics regression passed\n");
+  }
   return 0;
 }

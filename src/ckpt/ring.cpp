@@ -51,6 +51,15 @@ void GenerationRing::prune() const {
   }
 }
 
+std::size_t GenerationRing::purge() const {
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (std::uint64_t g : generations())
+    if (fs::remove(path_for(g), ec)) ++removed;
+  remove_stale_tmp();
+  return removed;
+}
+
 void GenerationRing::remove_stale_tmp() const {
   std::error_code ec;
   const fs::path base(base_);

@@ -9,6 +9,12 @@
 //   * a corrupted newest generation (detected by the reader's CRCs as a
 //     typed RestoreError) falls back to the one before it,
 //   * restore_latest() walks generations newest-first until one restores.
+//
+// Ownership is per base path, not per directory: every query and mutation
+// matches "<basename>.g<digits>" exactly, so many rings — e.g. the farm's
+// per-job rings (docs/FARM.md) — can share one directory and a prune or
+// purge of one never touches a sibling's generations, even when one base
+// name is a prefix of another ("a" vs "ab").
 #pragma once
 
 #include <cstdint>
@@ -47,6 +53,14 @@ class GenerationRing {
   /// the writer and the rename-commit would fail, losing the checkpoint
   /// (Simulation::checkpoint_to_ring defers it until the queue is idle).
   void remove_stale_tmp() const;
+
+  /// Delete every committed generation AND stale tmp of this ring — full
+  /// retirement of a job's checkpoint state (a farm job cancelled with
+  /// drop_checkpoints, docs/FARM.md). Same in-flight-writer caveat as
+  /// remove_stale_tmp(). Only files of THIS base are touched; sibling
+  /// rings in the directory are untouched. Best-effort; returns the
+  /// number of files removed.
+  std::size_t purge() const;
 
  private:
   std::string base_;

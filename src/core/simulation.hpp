@@ -141,6 +141,23 @@ class Simulation {
     for (int i = 0; i < nsteps; ++i) step();
   }
 
+  /// Cooperative slice stepping (the vpic::farm scheduler's hook,
+  /// docs/FARM.md): step until step_count() reaches `target` or `yield`
+  /// returns true. The predicate is polled between whole steps only, so a
+  /// yielded simulation is always at a step boundary — exactly the state
+  /// checkpoint() captures — and a later restore resumes bit-identically.
+  /// Returns the number of steps taken.
+  std::int64_t run_until(std::int64_t target,
+                         const std::function<bool()>& yield = {}) {
+    std::int64_t taken = 0;
+    while (step_count_ < target) {
+      if (yield && yield()) break;
+      step();
+      ++taken;
+    }
+    return taken;
+  }
+
   [[nodiscard]] EnergyReport energies() const;
 
   /// Charge density on nodes (for the continuity/conservation tests).

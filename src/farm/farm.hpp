@@ -1,0 +1,11 @@
+// farm/farm.hpp — umbrella header for vpic::farm, the multi-tenant
+// simulation run farm (docs/FARM.md): fair-share scheduling of many decks
+// on a fixed worker budget, cooperative checkpoint-based preemption on
+// the vpic::ckpt generation ring, and live steering / in-situ diagnostics
+// over a localhost wire protocol.
+#pragma once
+
+#include "farm/job.hpp"        // JobSpec / JobStatus / JobState
+#include "farm/scheduler.hpp"  // Scheduler: queue, WFQ slicing, preemption
+#include "farm/status_bus.hpp" // StatusBus + WireClient: live steering
+#include "farm/wire.hpp"       // length-prefixed framing

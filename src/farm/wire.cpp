@@ -1,0 +1,90 @@
+#include "farm/wire.hpp"
+
+#include <cerrno>
+#include <cstdint>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace vpic::farm::wire {
+
+std::string encode_frame(std::string_view payload) {
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>(n & 0xffu));
+  out.push_back(static_cast<char>((n >> 8) & 0xffu));
+  out.push_back(static_cast<char>((n >> 16) & 0xffu));
+  out.push_back(static_cast<char>((n >> 24) & 0xffu));
+  out.append(payload);
+  return out;
+}
+
+std::size_t decode_frame(std::string_view bytes, std::string& payload,
+                         std::size_t max_bytes) {
+  if (bytes.size() < 4) return 0;
+  const auto b = [&](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]));
+  };
+  const std::uint32_t n = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  if (n > max_bytes)
+    throw std::length_error("farm::wire: frame of " + std::to_string(n) +
+                            " bytes exceeds the " +
+                            std::to_string(max_bytes) + "-byte limit");
+  if (bytes.size() < 4 + static_cast<std::size_t>(n)) return 0;
+  payload.assign(bytes.data() + 4, n);
+  return 4 + static_cast<std::size_t>(n);
+}
+
+namespace {
+
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not a SIGPIPE kill.
+    const ssize_t w = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    len -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t r = ::recv(fd, data, len, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF mid-frame
+    data += r;
+    len -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool send_frame(int fd, std::string_view payload) {
+  const std::string framed = encode_frame(payload);
+  return write_all(fd, framed.data(), framed.size());
+}
+
+bool recv_frame(int fd, std::string& payload, std::size_t max_bytes) {
+  char hdr[4];
+  if (!read_all(fd, hdr, 4)) return false;
+  const auto b = [&](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(hdr[i]));
+  };
+  const std::uint32_t n = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  if (n > max_bytes) return false;
+  payload.resize(n);
+  return n == 0 || read_all(fd, payload.data(), n);
+}
+
+}  // namespace vpic::farm::wire

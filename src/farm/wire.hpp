@@ -1,0 +1,41 @@
+// farm/wire.hpp
+//
+// Length-prefixed framing for the farm steering protocol (docs/FARM.md):
+// each frame is a little-endian u32 payload length followed by the
+// payload bytes. Requests are one-line text commands, responses are JSON
+// documents — the framing is payload-agnostic either way.
+//
+// The codec is split from the socket I/O so tests can exercise framing on
+// byte buffers without a live connection.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace vpic::farm::wire {
+
+/// Hard ceiling on a frame payload. A header announcing more than this is
+/// treated as protocol corruption, not a large message.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 20;
+
+/// Serialize one frame: 4-byte LE length header + payload.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Parse one frame from the front of `bytes`. Returns the number of bytes
+/// consumed and fills `payload`; returns 0 when `bytes` does not yet hold
+/// a complete frame. Throws std::length_error when the header announces
+/// more than `max_bytes`.
+std::size_t decode_frame(std::string_view bytes, std::string& payload,
+                         std::size_t max_bytes = kMaxFrameBytes);
+
+/// Write one frame to a socket/pipe fd, retrying on short writes and
+/// EINTR. Returns false on error (closed peer included).
+bool send_frame(int fd, std::string_view payload);
+
+/// Read one complete frame from fd into `payload`, retrying on short
+/// reads and EINTR. Returns false on EOF, error, or an oversize header.
+bool recv_frame(int fd, std::string& payload,
+                std::size_t max_bytes = kMaxFrameBytes);
+
+}  // namespace vpic::farm::wire

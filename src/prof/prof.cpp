@@ -315,10 +315,25 @@ void push_region(const char* name) { pk::prof::region_push(name); }
 
 void pop_region() { pk::prof::region_pop(); }
 
+namespace {
+// Per-thread counter namespace (CounterScope / set_counter_prefix).
+thread_local std::string t_counter_prefix;
+}  // namespace
+
+void set_counter_prefix(std::string prefix) {
+  t_counter_prefix = std::move(prefix);
+}
+
+const std::string& counter_prefix() noexcept { return t_counter_prefix; }
+
 void counter_add(const char* name, std::uint64_t delta) noexcept {
   State& s = S();
   std::lock_guard lk(s.mu);
-  s.counters[name] += delta;
+  if (t_counter_prefix.empty()) {
+    s.counters[name] += delta;
+  } else {
+    s.counters[t_counter_prefix + name] += delta;
+  }
 }
 
 std::uint64_t counter_value(const std::string& name) {

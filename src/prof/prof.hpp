@@ -64,6 +64,30 @@ void pop_region();
 void counter_add(const char* name, std::uint64_t delta = 1) noexcept;
 [[nodiscard]] std::uint64_t counter_value(const std::string& name);
 
+/// Thread-local counter namespace: while set, every counter_add on the
+/// calling thread records under "<prefix><name>". This is how the farm
+/// scheduler scopes the engine's dispatch/tune counters per job — a worker
+/// sets "job.<name>." around each slice, so one global counter table keeps
+/// per-tenant columns without threading a context handle through every
+/// call site (docs/FARM.md). Empty string (the default) means unscoped.
+void set_counter_prefix(std::string prefix);
+[[nodiscard]] const std::string& counter_prefix() noexcept;
+
+/// RAII form: installs `prefix` on this thread, restores the previous
+/// prefix on destruction (scopes nest by replacement, not concatenation).
+class CounterScope {
+ public:
+  explicit CounterScope(std::string prefix) : prev_(counter_prefix()) {
+    set_counter_prefix(std::move(prefix));
+  }
+  ~CounterScope() { set_counter_prefix(std::move(prev_)); }
+  CounterScope(const CounterScope&) = delete;
+  CounterScope& operator=(const CounterScope&) = delete;
+
+ private:
+  std::string prev_;
+};
+
 /// RAII region. The optional `sink` accumulates the region's wall time
 /// even when profiling is off — it is how Simulation keeps its legacy
 /// push_seconds()/sort_seconds() accessors live at zero configuration.

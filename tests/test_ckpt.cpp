@@ -444,6 +444,67 @@ TEST(Ring, PruneKeepsNewestAndRemovesStaleTmp) {
   EXPECT_EQ(ring.generations(), (std::vector<std::uint64_t>{3, 4}));
 }
 
+// A farm job cancelled mid-async-snapshot leaves a dangling
+// "<base>.g<N>.tmp" that never got its rename-commit. restore_latest must
+// not even consider it: the newest *committed* generation restores, and
+// the wreck is left for the explicit quiescent sweep.
+TEST(Ring, RestoreLatestIgnoresDanglingTmpFromCancelledSnapshot) {
+  const auto dir = scratch("dangling_tmp");
+  const std::string base = (dir / "ck").string();
+  ckpt::GenerationRing ring(base, 3);
+
+  auto ref = make_lpi_small();
+  auto victim = make_lpi_small();
+  ref.run(20);
+  victim.run(20);
+  victim.checkpoint(ring.path_for(0));
+  {
+    std::ofstream tmp(ring.path_for(1) + ".tmp", std::ios::binary);
+    tmp << "half-written snapshot of a cancelled job";
+  }
+
+  auto resumed = make_lpi_small();
+  const std::string used = resumed.restore_latest(base);
+  EXPECT_EQ(used, ring.path_for(0));
+  EXPECT_EQ(resumed.step_count(), 20);
+  ref.run(20);
+  resumed.run(20);
+  expect_bit_identical(resumed, ref);
+  EXPECT_TRUE(fs::exists(ring.path_for(1) + ".tmp"));  // restore won't sweep
+}
+
+// Two farm jobs parking to distinct rings under one shared directory:
+// ownership is per base path, so one ring's prune/purge never touches a
+// sibling's generations — even when one base name is a strict prefix of
+// the other ("a" vs "ab").
+TEST(Ring, SiblingRingsInOneDirectoryAreIsolated) {
+  const auto dir = scratch("siblings");
+  ckpt::GenerationRing a((dir / "a").string(), 2);
+  ckpt::GenerationRing ab((dir / "ab").string(), 2);
+  for (std::uint64_t g = 0; g < 5; ++g) {
+    write_sample(a.path_for(g));
+    write_sample(ab.path_for(g));
+  }
+  {
+    std::ofstream tmp(a.path_for(7) + ".tmp");
+    tmp << "stale";
+  }
+
+  a.prune();
+  EXPECT_EQ(a.generations(), (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_EQ(ab.generations(), (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+
+  // Purging "a" removes its 2 generations + 1 stale tmp, nothing of "ab".
+  EXPECT_EQ(a.purge(), 2u);
+  EXPECT_TRUE(a.generations().empty());
+  EXPECT_FALSE(fs::exists(a.path_for(7) + ".tmp"));
+  EXPECT_EQ(ab.generations(), (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+
+  EXPECT_EQ(ab.purge(), 5u);
+  EXPECT_TRUE(ab.generations().empty());
+  EXPECT_EQ(ab.purge(), 0u);  // idempotent on an empty ring
+}
+
 // ---- Simulation integration -----------------------------------------
 
 TEST(SimCkpt, FingerprintSeparatesDecks) {
