@@ -297,6 +297,9 @@ void Simulation::restore(const std::string& path) {
   read_engine_sections(f, fields_, interp_, acc_, species_);
   read_history_sections(f, energy_history_);
   step_count_ = f.step();
+  // The restored particle arrays replace whatever the tile ranges pointed
+  // at: force a re-bucket before the next tiled step (docs/TILES.md).
+  tiles_dirty_ = true;
 }
 
 std::string Simulation::restore_latest(const std::string& base) {

@@ -52,22 +52,49 @@ Simulation make_lpi(const LpiParams& p) {
   cfg.layout = p.layout;
   Simulation sim(cfg);
 
-  const index_t slab_cells = cfg.grid.interior_cells();
-  const auto cap = static_cast<index_t>(slab_cells) * p.ppc + 64;
-  const std::size_t ele = sim.add_species("electron", -1.0f, 1.0f, cap);
-  const std::size_t ion = sim.add_species("ion", 1.0f, p.mi_me, cap);
-
   const Grid& g = sim.grid();
   const int x_begin = 1 + static_cast<int>(p.slab_begin * p.nx);
   const int x_end = static_cast<int>(p.slab_end * p.nx);
+
+  // Gaussian clumping (LpiParams::clump_factor): per-cell particle count
+  // scaled up near the slab center, per-particle weight scaled down by
+  // the same factor, so physical density stays uniform while the
+  // computational load clumps. At clump_factor == 0 this reduces exactly
+  // to the flat ppc the deck always had.
+  const double cz = 0.5 * (1 + p.nz);
+  // The clump is a Gaussian pileup *plane* at the slab mid-plane (sigma =
+  // an eighth of nz), uniform in x/y — the shape of a compression front
+  // at the critical surface. Concentrating along z only is deliberate:
+  // it's the axis the tile decomposition slabs, so the knob dials in a
+  // reproducible tile load imbalance without changing the x/y profile.
+  const double sz = std::max(1.0, p.nz / 8.0);
+  auto cell_ppc = [&](int, int, int iz) {
+    if (p.clump_factor <= 0) return p.ppc;
+    const double zt = (iz - cz) / sz;
+    const double boost = 1.0 + p.clump_factor * std::exp(-0.5 * zt * zt);
+    return std::max(1, static_cast<int>(std::lround(p.ppc * boost)));
+  };
+
+  // Capacity pre-pass: the clumped counts are deterministic, so size the
+  // stores exactly instead of guessing a headroom factor.
+  index_t total = 0;
+  for (int iz = 1; iz <= g.nz; ++iz)
+    for (int iy = 1; iy <= g.ny; ++iy)
+      for (int ix = x_begin; ix <= x_end; ++ix)
+        total += cell_ppc(ix, iy, iz);
+  const index_t cap = total + 64;
+  const std::size_t ele = sim.add_species("electron", -1.0f, 1.0f, cap);
+  const std::size_t ion = sim.add_species("ion", 1.0f, p.mi_me, cap);
+
   for (int iz = 1; iz <= g.nz; ++iz)
     for (int iy = 1; iy <= g.ny; ++iy)
       for (int ix = x_begin; ix <= x_end; ++ix) {
         const index_t v = g.voxel(ix, iy, iz);
-        const float w = 1.0f / static_cast<float>(p.ppc);
-        fill_cell(sim.species(ele), g, v, p.ppc, w, p.uth_e, 0, 0, 0,
+        const int nc = cell_ppc(ix, iy, iz);
+        const float w = 1.0f / static_cast<float>(nc);
+        fill_cell(sim.species(ele), g, v, nc, w, p.uth_e, 0, 0, 0,
                   hash64(p.seed + 1));
-        fill_cell(sim.species(ion), g, v, p.ppc, w, p.uth_i, 0, 0, 0,
+        fill_cell(sim.species(ion), g, v, nc, w, p.uth_i, 0, 0, 0,
                   hash64(p.seed + 2));
       }
 

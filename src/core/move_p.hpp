@@ -29,9 +29,12 @@ enum class MoveResult : std::uint8_t {
 /// `periodic_mask` the faces wrap; else the particle Exits at the face
 /// with the unfinished displacement stored in `remaining` (rank exchange
 /// re-applies it after re-injection, exactly like VPIC's mover records).
-template <bool Atomic = true>
+/// `AccArray` is any deposit sink exposing `Accumulator& a(index_t voxel)`:
+/// the global AccumulatorArray (atomic deposits under concurrent pushes) or
+/// a tile-private core::TileAccumulator block (plain adds; core/tiles.hpp).
+template <bool Atomic = true, class AccArray = AccumulatorArray>
 MoveResult move_p(Particle& p, float dispx, float dispy, float dispz,
-                  float qw, AccumulatorArray& acc, const Grid& g,
+                  float qw, AccArray& acc, const Grid& g,
                   std::uint8_t periodic_mask = 0b111,
                   float* remaining = nullptr,
                   std::uint8_t reflect_mask = 0b000) {

@@ -21,6 +21,38 @@
 
 namespace vpic::core {
 
+/// Per-tile slice of a species under the tile decomposition
+/// (core/tiles.hpp): the contiguous index range the tile owns, its OWN
+/// sortedness tracking (a global counter would let one busy tile's churn
+/// veto the run-aware fast path everywhere — per-tile staleness is what
+/// drives per-tile AutoDetect dispatch), and the per-tile sort/run
+/// scratch buffers so tile tasks never share mutable state.
+struct TileSlot {
+  index_t begin = 0, end = 0;  // [begin, end) into the particle array
+  bool sorted_hint = false;    // range is voxel-sorted
+  int steps_since_sort = -1;   // -1: never tile-sorted
+
+  // Serial per-tile counting-sort scratch (see core/tiles.hpp) and the
+  // run-segmentation scratch of the tile's run-aware push. Persistent so
+  // steady-state re-sorting allocates nothing, like the global path.
+  std::vector<std::uint32_t> keys;
+  std::vector<index_t> perm;
+  std::vector<index_t> offsets;
+  std::vector<sort::CellRun> runs;
+
+  [[nodiscard]] index_t count() const noexcept { return end - begin; }
+
+  void mark_sorted() noexcept {
+    sorted_hint = true;
+    steps_since_sort = 0;
+  }
+  void mark_order_degraded() noexcept {
+    if (steps_since_sort >= 0 &&
+        steps_since_sort < std::numeric_limits<int>::max())
+      ++steps_since_sort;
+  }
+};
+
 struct Species {
   std::string name;
   float q = -1.0f;  // charge (electron = -1 in normalized units)
@@ -43,6 +75,10 @@ struct Species {
   bool cell_sorted_hint = false;
   int steps_since_sort = -1;  // -1: never cell-sorted
   std::vector<sort::CellRun> push_runs;  // reused run-segmentation scratch
+
+  // Tile decomposition state (core/tiles.hpp): one slot per tile with the
+  // owned index range and per-tile sortedness. Empty when untiled.
+  std::vector<TileSlot> tiles;
 
   /// Called by sort_particles after a reorder: Standard order is the
   /// cell-sorted order the run-aware push exploits; any other order

@@ -14,8 +14,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <type_traits>
 
 #include "core/move_p.hpp"
+#include "core/tiles.hpp"
 #include "core/push_tuning.hpp"
 #include "prof/prof.hpp"
 #include "simd/simd.hpp"
@@ -44,18 +46,30 @@ PushConsts make_consts(const Species& sp, const Grid& g) {
   return c;
 }
 
+/// Deposits into the shared global array must be atomic under concurrent
+/// pushes; a tile-private TileAccumulator block is only ever touched by
+/// its (serial) owning task, so plain adds suffice — and atomic float add
+/// is bitwise-identical to plain add, so the choice never changes physics.
+template <class AccA>
+inline constexpr bool kAtomicDeposit = std::is_same_v<AccA, AccumulatorArray>;
+
 /// Complete a particle's move, honoring the boundary options: periodic
-/// wrap by default, exit-collection for rank-decomposed axes.
+/// wrap by default, reflecting walls on reflect_mask axes, exit-collection
+/// for rank-decomposed axes.
+template <class AccA>
 inline void finish_move(Particle& p, float dispx, float dispy, float dispz,
-                        float qw, AccumulatorArray& acc, const Grid& g,
+                        float qw, AccA& acc, const Grid& g,
                         const MoverOptions& opts) {
   if (opts.exits == nullptr) {
-    move_p(p, dispx, dispy, dispz, qw, acc, g, opts.periodic_mask);
+    move_p<kAtomicDeposit<AccA>>(p, dispx, dispy, dispz, qw, acc, g,
+                                 opts.periodic_mask, nullptr,
+                                 opts.reflect_mask);
     return;
   }
   float rem[3] = {0, 0, 0};
-  const MoveResult r = move_p(p, dispx, dispy, dispz, qw, acc, g,
-                              opts.periodic_mask, rem);
+  const MoveResult r =
+      move_p<kAtomicDeposit<AccA>>(p, dispx, dispy, dispz, qw, acc, g,
+                                   opts.periodic_mask, rem, opts.reflect_mask);
   if (r == MoveResult::Exited) {
     ExitRecord rec;
     rec.p = p;
@@ -96,29 +110,39 @@ inline void boris(float& ux, float& uy, float& uz, float hax, float hay,
   uz += haz;
 }
 
+/// The per-particle generic push body, shared verbatim by the parallel
+/// Auto kernel, the scalar tails of the blocked strategies, and the
+/// serial tile-range path — one definition so the tiled sequential mode
+/// is bit-identical to the untiled kernels by construction.
+template <class A, class AccA>
+inline void push_one(const A& a, index_t n, const InterpolatorArray& interp,
+                     AccA& acc, const Grid& g, const MoverOptions& opts,
+                     const PushConsts& c) {
+  Particle p = a.load(n);
+  const Interpolator& ip = interp(p.i);
+  const FieldsAtPoint f = interpolate(ip, p.dx, p.dy, p.dz);
+  boris(p.ux, p.uy, p.uz, c.qdt2m * f.ex, c.qdt2m * f.ey, c.qdt2m * f.ez,
+        f.bx, f.by, f.bz, c.qdt2m);
+  const float rg =
+      1.0f / std::sqrt(1.0f + p.ux * p.ux + p.uy * p.uy + p.uz * p.uz);
+  const float dispx = c.cdtdx2 * p.ux * rg;
+  const float dispy = c.cdtdy2 * p.uy * rg;
+  const float dispz = c.cdtdz2 * p.uz * rg;
+  finish_move(p, dispx, dispy, dispz, c.qw_sign * p.w, acc, g, opts);
+  a.store(n, p);
+}
+
 /// Shared scalar push over [n0, n1): the remainder tail of the blocked
 /// Manual/AdHoc strategies (one implementation instead of two copies).
 /// Runs under its own prof region so summaries attribute tail work
 /// separately from the vector kernels.
-template <class A>
+template <class A, class AccA>
 void push_scalar_range(const A& a, const InterpolatorArray& interp,
-                       AccumulatorArray& acc, const Grid& g,
-                       const MoverOptions& opts, const PushConsts& c,
-                       index_t n0, index_t n1) {
+                       AccA& acc, const Grid& g, const MoverOptions& opts,
+                       const PushConsts& c, index_t n0, index_t n1) {
   if (n0 >= n1) return;
   prof::ScopedRegion tail("push_scalar_tail");
-  for (index_t n = n0; n < n1; ++n) {
-    Particle p = a.load(n);
-    const Interpolator& ip = interp(p.i);
-    const FieldsAtPoint f = interpolate(ip, p.dx, p.dy, p.dz);
-    boris(p.ux, p.uy, p.uz, c.qdt2m * f.ex, c.qdt2m * f.ey, c.qdt2m * f.ez,
-          f.bx, f.by, f.bz, c.qdt2m);
-    const float rg =
-        1.0f / std::sqrt(1.0f + p.ux * p.ux + p.uy * p.uy + p.uz * p.uz);
-    finish_move(p, c.cdtdx2 * p.ux * rg, c.cdtdy2 * p.uy * rg,
-                c.cdtdz2 * p.uz * rg, c.qw_sign * p.w, acc, g, opts);
-    a.store(n, p);
-  }
+  for (index_t n = n0; n < n1; ++n) push_one(a, n, interp, acc, g, opts, c);
 }
 
 // ----------------------------------------------------------------------
@@ -131,18 +155,7 @@ void push_auto(Species& sp, const A& a, const InterpolatorArray& interp,
                const MoverOptions& opts) {
   const PushConsts c = make_consts(sp, g);
   pk::parallel_for("advance_p[auto]", sp.np, [&](index_t n) {
-    Particle p = a.load(n);
-    const Interpolator& ip = interp(p.i);
-    const FieldsAtPoint f = interpolate(ip, p.dx, p.dy, p.dz);
-    boris(p.ux, p.uy, p.uz, c.qdt2m * f.ex, c.qdt2m * f.ey, c.qdt2m * f.ez,
-          f.bx, f.by, f.bz, c.qdt2m);
-    const float rg =
-        1.0f / std::sqrt(1.0f + p.ux * p.ux + p.uy * p.uy + p.uz * p.uz);
-    const float dispx = c.cdtdx2 * p.ux * rg;
-    const float dispy = c.cdtdy2 * p.uy * rg;
-    const float dispz = c.cdtdz2 * p.uz * rg;
-    finish_move(p, dispx, dispy, dispz, c.qw_sign * p.w, acc, g, opts);
-    a.store(n, p);
+    push_one(a, n, interp, acc, g, opts, c);
   });
 }
 
@@ -152,21 +165,21 @@ void push_auto(Species& sp, const A& a, const InterpolatorArray& interp,
 // branchy mover. The split is the paper's "separate difficult-to-
 // vectorize" refactoring; #pragma omp simd is the guided pragma.
 // ----------------------------------------------------------------------
-template <class A>
-void push_guided(Species& sp, const A& a, const InterpolatorArray& interp,
-                 AccumulatorArray& acc, const Grid& g,
-                 const MoverOptions& opts) {
+/// One Guided block [n0, n1), n1 - n0 <= kPushBlock: forced-SIMD compute
+/// phase into stack arrays, then the scalar mover phase. Per-particle
+/// results are independent of the blocking, so the serial tile-range path
+/// reuses this with tile-local block bases and stays bit-identical.
+template <class A, class AccA>
+inline void push_guided_block(const A& a, const InterpolatorArray& interp,
+                              AccA& acc, const Grid& g,
+                              const MoverOptions& opts, const PushConsts& c,
+                              index_t n0, index_t n1) {
   constexpr index_t kBlock = kPushBlock;
-  const PushConsts c = make_consts(sp, g);
-  const index_t nblocks = (sp.np + kBlock - 1) / kBlock;
-  pk::parallel_for("advance_p[guided]", nblocks, [&](index_t b) {
-    const index_t n0 = b * kBlock;
-    const index_t n1 = std::min(sp.np, n0 + kBlock);
-    const int cnt = static_cast<int>(n1 - n0);
-    float dispx[kBlock], dispy[kBlock], dispz[kBlock];
-    float nux[kBlock], nuy[kBlock], nuz[kBlock];
+  const int cnt = static_cast<int>(n1 - n0);
+  float dispx[kBlock], dispy[kBlock], dispz[kBlock];
+  float nux[kBlock], nuy[kBlock], nuz[kBlock];
 
-    PK_OMP_SIMD
+  PK_OMP_SIMD
     for (int k = 0; k < cnt; ++k) {
       const Particle p = a.load(n0 + k);
       const Interpolator& ip = interp(p.i);
@@ -190,15 +203,28 @@ void push_guided(Species& sp, const A& a, const InterpolatorArray& interp,
       dispy[k] = c.cdtdy2 * uy * rg;
       dispz[k] = c.cdtdz2 * uz * rg;
     }
-    for (int k = 0; k < cnt; ++k) {
-      Particle p = a.load(n0 + k);
-      p.ux = nux[k];
-      p.uy = nuy[k];
-      p.uz = nuz[k];
-      finish_move(p, dispx[k], dispy[k], dispz[k], c.qw_sign * p.w, acc, g,
-                  opts);
-      a.store(n0 + k, p);
-    }
+  for (int k = 0; k < cnt; ++k) {
+    Particle p = a.load(n0 + k);
+    p.ux = nux[k];
+    p.uy = nuy[k];
+    p.uz = nuz[k];
+    finish_move(p, dispx[k], dispy[k], dispz[k], c.qw_sign * p.w, acc, g,
+                opts);
+    a.store(n0 + k, p);
+  }
+}
+
+template <class A>
+void push_guided(Species& sp, const A& a, const InterpolatorArray& interp,
+                 AccumulatorArray& acc, const Grid& g,
+                 const MoverOptions& opts) {
+  constexpr index_t kBlock = kPushBlock;
+  const PushConsts c = make_consts(sp, g);
+  const index_t nblocks = (sp.np + kBlock - 1) / kBlock;
+  pk::parallel_for("advance_p[guided]", nblocks, [&](index_t b) {
+    const index_t n0 = b * kBlock;
+    const index_t n1 = std::min(sp.np, n0 + kBlock);
+    push_guided_block(a, interp, acc, g, opts, c, n0, n1);
   });
 }
 
@@ -208,17 +234,18 @@ void push_guided(Species& sp, const A& a, const InterpolatorArray& interp,
 // load_vecs: an 8x8 register transpose for AoS, straight dense plane /
 // tile-row loads for SoA / AoSoA.
 // ----------------------------------------------------------------------
-template <class A>
-void push_manual(Species& sp, const A& a, const InterpolatorArray& interp,
-                 AccumulatorArray& acc, const Grid& g,
-                 const MoverOptions& opts) {
+/// One full W-wide Manual block starting at n0: vector Boris off a
+/// load_vecs transpose, scalar movers. Used by the parallel kernel (lane
+/// bases aligned to the array) and the serial tile-range path (lane bases
+/// aligned to the tile range — same physics, few-ulp when misaligned).
+template <class A, class AccA>
+inline void push_manual_block(const A& a, const InterpolatorArray& interp,
+                              AccA& acc, const Grid& g,
+                              const MoverOptions& opts, const PushConsts& c,
+                              index_t n0) {
   constexpr int W = kManualVecWidth;
   using F = simd::simd<float, W>;
-  const PushConsts c = make_consts(sp, g);
-  const index_t nfull = sp.np / W;
-
-  pk::parallel_for("advance_p[manual]", nfull, [&](index_t b) {
-    const index_t n0 = b * W;
+  {
     const ParticleVecs<W> v = a.template load_vecs<W>(n0);
     const F dx = v.dx, dy = v.dy, dz = v.dz;
     F ux = v.ux, uy = v.uy, uz = v.uz;
@@ -276,6 +303,19 @@ void push_manual(Species& sp, const A& a, const InterpolatorArray& interp,
                   opts);
       a.store(n0 + l, p);
     }
+  }
+}
+
+template <class A>
+void push_manual(Species& sp, const A& a, const InterpolatorArray& interp,
+                 AccumulatorArray& acc, const Grid& g,
+                 const MoverOptions& opts) {
+  constexpr int W = kManualVecWidth;
+  const PushConsts c = make_consts(sp, g);
+  const index_t nfull = sp.np / W;
+
+  pk::parallel_for("advance_p[manual]", nfull, [&](index_t b) {
+    push_manual_block(a, interp, acc, g, opts, c, b * W);
   });
 
   push_scalar_range(a, interp, acc, g, opts, c, nfull * W, sp.np);
@@ -397,12 +437,22 @@ void push_adhoc(Species& sp, const A& a, const InterpolatorArray& interp,
 /// Merge a run's local accumulation into the global record. Other runs
 /// (same cell appearing twice in unsorted input, or movers crossing in
 /// from neighbor runs) may target the same record concurrently, so the
-/// batch is atomic.
-inline void flush_run_accumulator(const Accumulator& local, Accumulator& g) {
+/// batch is atomic — except into a tile-private block, which only the
+/// (serial) owning task touches.
+inline void flush_run_accumulator(const Accumulator& local, Accumulator& g,
+                                  bool atomic = true) {
+  if (atomic) {
+    for (int k = 0; k < 4; ++k) {
+      pk::atomic_add(&g.jx[k], local.jx[k]);
+      pk::atomic_add(&g.jy[k], local.jy[k]);
+      pk::atomic_add(&g.jz[k], local.jz[k]);
+    }
+    return;
+  }
   for (int k = 0; k < 4; ++k) {
-    pk::atomic_add(&g.jx[k], local.jx[k]);
-    pk::atomic_add(&g.jy[k], local.jy[k]);
-    pk::atomic_add(&g.jz[k], local.jz[k]);
+    g.jx[k] += local.jx[k];
+    g.jy[k] += local.jy[k];
+    g.jz[k] += local.jz[k];
   }
 }
 
@@ -411,9 +461,10 @@ inline void flush_run_accumulator(const Accumulator& local, Accumulator& g) {
 /// never touches the grid walk; cell crossers take the generic
 /// finish_move/move_p path. The stay predicate and deposit reproduce
 /// move_p's f >= 1 branch exactly (same midpoint, same += update).
+template <class AccA>
 inline void finish_move_run(Particle& p, float dispx, float dispy,
                             float dispz, float qw, Accumulator& local,
-                            AccumulatorArray& acc, const Grid& g,
+                            AccA& acc, const Grid& g,
                             const MoverOptions& opts) {
   const float nx = p.dx + dispx;
   const float ny = p.dy + dispy;
@@ -434,10 +485,10 @@ inline void finish_move_run(Particle& p, float dispx, float dispy,
 /// Scalar run body: push particles [n0, n1) of the run whose hoisted
 /// interpolator is `ip`. Shared by the Auto variant and by the ragged
 /// sub-W tails of the vectorized variants.
-template <class A>
+template <class A, class AccA>
 inline void push_run_scalar(const A& a, const Interpolator& ip,
                             const PushConsts& c, index_t n0, index_t n1,
-                            Accumulator& local, AccumulatorArray& acc,
+                            Accumulator& local, AccA& acc,
                             const Grid& g, const MoverOptions& opts) {
   for (index_t n = n0; n < n1; ++n) {
     Particle p = a.load(n);
@@ -453,6 +504,20 @@ inline void push_run_scalar(const A& a, const Interpolator& ip,
   }
 }
 
+/// One whole run, Auto style: hoisted interpolator, scalar body, one
+/// flush. Shared by the parallel kernel and the serial run-range path.
+template <class A, class AccA>
+inline void run_body_auto(const A& a, const sort::CellRun& run,
+                          const InterpolatorArray& interp, AccA& acc,
+                          const Grid& g, const MoverOptions& opts,
+                          const PushConsts& c) {
+  const Interpolator ip = interp(run.cell);  // hoisted: once per run
+  Accumulator local{};
+  push_run_scalar(a, ip, c, run.begin, run.begin + run.count, local, acc, g,
+                  opts);
+  flush_run_accumulator(local, acc.a(run.cell), kAtomicDeposit<AccA>);
+}
+
 template <class A>
 void push_auto_runs(Species& sp, const A& a, const InterpolatorArray& interp,
                     AccumulatorArray& acc, const Grid& g,
@@ -462,26 +527,20 @@ void push_auto_runs(Species& sp, const A& a, const InterpolatorArray& interp,
   pk::parallel_for(
       "advance_p[auto_runs]", static_cast<index_t>(runs.size()),
       [&](index_t r) {
-        const sort::CellRun run = runs[static_cast<std::size_t>(r)];
-        const Interpolator ip = interp(run.cell);  // hoisted: once per run
-        Accumulator local{};
-        push_run_scalar(a, ip, c, run.begin, run.begin + run.count, local,
-                        acc, g, opts);
-        flush_run_accumulator(local, acc.a(run.cell));
+        run_body_auto(a, runs[static_cast<std::size_t>(r)], interp, acc, g,
+                      opts, c);
       });
 }
 
-template <class A>
-void push_guided_runs(Species& sp, const A& a,
-                      const InterpolatorArray& interp, AccumulatorArray& acc,
-                      const Grid& g, const MoverOptions& opts,
-                      const std::vector<sort::CellRun>& runs) {
+/// One whole run, Guided style (blocked forced-SIMD compute + scalar
+/// movers). Shared by the parallel kernel and the serial run-range path.
+template <class A, class AccA>
+inline void run_body_guided(const A& a, const sort::CellRun& run,
+                            const InterpolatorArray& interp, AccA& acc,
+                            const Grid& g, const MoverOptions& opts,
+                            const PushConsts& c) {
   constexpr index_t kBlock = kPushBlock;
-  const PushConsts c = make_consts(sp, g);
-  pk::parallel_for(
-      "advance_p[guided_runs]", static_cast<index_t>(runs.size()),
-      [&](index_t r) {
-        const sort::CellRun run = runs[static_cast<std::size_t>(r)];
+  {
         const Interpolator ip = interp(run.cell);
         Accumulator local{};
         float dispx[kBlock], dispy[kBlock], dispz[kBlock];
@@ -525,22 +584,34 @@ void push_guided_runs(Species& sp, const A& a,
             a.store(n0 + k, p);
           }
         }
-        flush_run_accumulator(local, acc.a(run.cell));
-      });
+        flush_run_accumulator(local, acc.a(run.cell), kAtomicDeposit<AccA>);
+  }
 }
 
 template <class A>
-void push_manual_runs(Species& sp, const A& a,
+void push_guided_runs(Species& sp, const A& a,
                       const InterpolatorArray& interp, AccumulatorArray& acc,
                       const Grid& g, const MoverOptions& opts,
                       const std::vector<sort::CellRun>& runs) {
-  constexpr int W = kManualVecWidth;
-  using F = simd::simd<float, W>;
   const PushConsts c = make_consts(sp, g);
   pk::parallel_for(
-      "advance_p[manual_runs]", static_cast<index_t>(runs.size()),
+      "advance_p[guided_runs]", static_cast<index_t>(runs.size()),
       [&](index_t r) {
-        const sort::CellRun run = runs[static_cast<std::size_t>(r)];
+        run_body_guided(a, runs[static_cast<std::size_t>(r)], interp, acc, g,
+                        opts, c);
+      });
+}
+
+/// One whole run, Manual style (W-wide SIMD blocks + ragged scalar tail).
+/// Shared by the parallel kernel and the serial run-range path.
+template <class A, class AccA>
+inline void run_body_manual(const A& a, const sort::CellRun& run,
+                            const InterpolatorArray& interp, AccA& acc,
+                            const Grid& g, const MoverOptions& opts,
+                            const PushConsts& c) {
+  constexpr int W = kManualVecWidth;
+  using F = simd::simd<float, W>;
+  {
         const Interpolator ip = interp(run.cell);
         Accumulator local{};
         const index_t rend = run.begin + run.count;
@@ -603,8 +674,97 @@ void push_manual_runs(Species& sp, const A& a,
         }
         // Ragged sub-W tail of the run.
         push_run_scalar(a, ip, c, nfull, rend, local, acc, g, opts);
-        flush_run_accumulator(local, acc.a(run.cell));
+        flush_run_accumulator(local, acc.a(run.cell), kAtomicDeposit<AccA>);
+  }
+}
+
+template <class A>
+void push_manual_runs(Species& sp, const A& a,
+                      const InterpolatorArray& interp, AccumulatorArray& acc,
+                      const Grid& g, const MoverOptions& opts,
+                      const std::vector<sort::CellRun>& runs) {
+  const PushConsts c = make_consts(sp, g);
+  pk::parallel_for(
+      "advance_p[manual_runs]", static_cast<index_t>(runs.size()),
+      [&](index_t r) {
+        run_body_manual(a, runs[static_cast<std::size_t>(r)], interp, acc, g,
+                        opts, c);
       });
+}
+
+// ----------------------------------------------------------------------
+// Serial tile-task kernels (docs/TILES.md): one tile's index range or run
+// sublist, executed in order on the calling thread, depositing into
+// either the global array (deterministic sequential mode) or a
+// tile-private TileAccumulator block (stealing mode).
+// ----------------------------------------------------------------------
+
+template <class AccA>
+void advance_range_serial_impl(Species& sp, const InterpolatorArray& interp,
+                               AccA& acc, const Grid& g,
+                               VectorStrategy strategy,
+                               const MoverOptions& opts, index_t n0,
+                               index_t n1) {
+  if (n0 >= n1) return;
+  const PushConsts c = make_consts(sp, g);
+  dispatch_layout(sp.p, [&](auto a) {
+    switch (strategy) {
+      case VectorStrategy::Auto:
+        for (index_t n = n0; n < n1; ++n)
+          push_one(a, n, interp, acc, g, opts, c);
+        break;
+      case VectorStrategy::Guided:
+        for (index_t b = n0; b < n1; b += kPushBlock)
+          push_guided_block(a, interp, acc, g, opts, c, b,
+                            std::min(n1, b + kPushBlock));
+        break;
+      case VectorStrategy::Manual: {
+        constexpr int W = kManualVecWidth;
+        const index_t nfull = n0 + ((n1 - n0) / W) * W;
+        for (index_t b = n0; b < nfull; b += W)
+          push_manual_block(a, interp, acc, g, opts, c, b);
+        push_scalar_range(a, interp, acc, g, opts, c, nfull, n1);
+        break;
+      }
+      case VectorStrategy::AdHoc:
+        // The 4-wide transpose pipeline reads whole AoS blocks from a
+        // fixed base; per-tile rebasing has no exact equivalent, so tiles
+        // run the scalar pipeline (same physics within rsqrt ulps).
+        push_scalar_range(a, interp, acc, g, opts, c, n0, n1);
+        break;
+    }
+  });
+}
+
+template <class AccA>
+void advance_runs_serial_impl(Species& sp, const InterpolatorArray& interp,
+                              AccA& acc, const Grid& g,
+                              VectorStrategy strategy,
+                              const MoverOptions& opts,
+                              const std::vector<sort::CellRun>& runs,
+                              std::size_t r0, std::size_t r1) {
+  if (strategy == VectorStrategy::AdHoc)
+    throw std::invalid_argument(
+        "advance_runs_serial: AdHoc has no run-aware variant");
+  const PushConsts c = make_consts(sp, g);
+  dispatch_layout(sp.p, [&](auto a) {
+    for (std::size_t r = r0; r < r1 && r < runs.size(); ++r) {
+      const sort::CellRun& run = runs[r];
+      switch (strategy) {
+        case VectorStrategy::Auto:
+          run_body_auto(a, run, interp, acc, g, opts, c);
+          break;
+        case VectorStrategy::Guided:
+          run_body_guided(a, run, interp, acc, g, opts, c);
+          break;
+        case VectorStrategy::Manual:
+          run_body_manual(a, run, interp, acc, g, opts, c);
+          break;
+        case VectorStrategy::AdHoc:
+          break;  // unreachable: thrown above
+      }
+    }
+  });
 }
 
 }  // namespace
@@ -728,6 +888,52 @@ void advance_species_runs(Species& sp, const InterpolatorArray& interp,
       case VectorStrategy::AdHoc:
         break;  // unreachable: thrown above
     }
+  });
+}
+
+void advance_range_serial(Species& sp, const InterpolatorArray& interp,
+                          AccumulatorArray& acc, const Grid& g,
+                          VectorStrategy strategy, const MoverOptions& opts,
+                          index_t n0, index_t n1) {
+  advance_range_serial_impl(sp, interp, acc, g, strategy, opts, n0, n1);
+}
+
+void advance_range_serial(Species& sp, const InterpolatorArray& interp,
+                          TileAccumulator& acc, const Grid& g,
+                          VectorStrategy strategy, const MoverOptions& opts,
+                          index_t n0, index_t n1) {
+  advance_range_serial_impl(sp, interp, acc, g, strategy, opts, n0, n1);
+}
+
+void advance_runs_serial(Species& sp, const InterpolatorArray& interp,
+                         AccumulatorArray& acc, const Grid& g,
+                         VectorStrategy strategy, const MoverOptions& opts,
+                         const std::vector<sort::CellRun>& runs,
+                         std::size_t r0, std::size_t r1) {
+  advance_runs_serial_impl(sp, interp, acc, g, strategy, opts, runs, r0, r1);
+}
+
+void advance_runs_serial(Species& sp, const InterpolatorArray& interp,
+                         TileAccumulator& acc, const Grid& g,
+                         VectorStrategy strategy, const MoverOptions& opts,
+                         const std::vector<sort::CellRun>& runs,
+                         std::size_t r0, std::size_t r1) {
+  advance_runs_serial_impl(sp, interp, acc, g, strategy, opts, runs, r0, r1);
+}
+
+bool run_aware_profitable_range(const Species& sp, index_t n0, index_t n1,
+                                bool sorted_hint, int steps_since_sort) {
+  const index_t n = n1 - n0;
+  if (n <= 0) return false;
+  const PushGates& gates = active_push_gates(sp.p.layout());
+  if (n < gates.min_particles) return false;
+  if (!sorted_hint || steps_since_sort < 0) return false;
+  if (steps_since_sort == 0) return true;  // fresh from the tile sort
+  if (steps_since_sort > gates.max_stale) return false;
+  return dispatch_layout(sp.p, [&](auto a) {
+    const auto probe = sort::probe_runs(
+        n, [a, n0](index_t i) { return a.cell(n0 + i); });
+    return probe.mean_run_estimate() >= gates.min_mean_run;
   });
 }
 

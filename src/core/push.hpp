@@ -92,6 +92,8 @@ struct ExitRecord {
 /// Boundary behaviour of the mover within advance_species.
 struct MoverOptions {
   std::uint8_t periodic_mask = 0b111;        // wrap per axis (x,y,z bits)
+  std::uint8_t reflect_mask = 0b000;         // reflecting walls per axis
+                                             // (wins over periodic_mask)
   std::vector<ExitRecord>* exits = nullptr;  // where exiting particles go
   std::mutex* exits_mutex = nullptr;         // guards `exits` under OpenMP
 };
@@ -137,6 +139,58 @@ void advance_species_runs(Species& sp, const InterpolatorArray& interp,
 /// species' sortedness tracking (fresh or recently-stale cell-sorted hint)
 /// plus a sampled run probe predict the run-aware path will pay off.
 [[nodiscard]] bool run_aware_profitable(const Species& sp);
+
+// ----------------------------------------------------------------------
+// Tile-task entry points (core/tiles.hpp, docs/TILES.md). A tile task
+// pushes its contiguous index range SERIALLY on whichever worker the
+// stealing scheduler lands it on — parallelism comes from tiles, not from
+// lanes inside a tile — and deposits either into the global
+// AccumulatorArray (deterministic sequential mode: bit-identical to the
+// untiled kernels for the per-particle-independent Auto/Guided
+// strategies) or into a tile-private TileAccumulator block (stealing
+// mode: plain non-atomic adds, merged deterministically afterwards).
+// None of these age the species' sortedness — the step driver does that
+// once per step, per tile.
+// ----------------------------------------------------------------------
+
+class TileAccumulator;
+
+/// Serial generic push of particles [n0, n1). Auto/Guided reproduce the
+/// untiled kernels bit for bit on the same iteration order; Manual blocks
+/// W-wide lanes from n0 (few-ulp vs untiled when n0 is not lane-aligned);
+/// AdHoc runs the scalar pipeline (its 4-wide transpose path is not
+/// range-rebasable).
+void advance_range_serial(Species& sp, const InterpolatorArray& interp,
+                          AccumulatorArray& acc, const Grid& g,
+                          VectorStrategy strategy, const MoverOptions& opts,
+                          index_t n0, index_t n1);
+void advance_range_serial(Species& sp, const InterpolatorArray& interp,
+                          TileAccumulator& acc, const Grid& g,
+                          VectorStrategy strategy, const MoverOptions& opts,
+                          index_t n0, index_t n1);
+
+/// Serial run-aware push of runs [r0, r1) of `runs` (same per-run bodies
+/// as the parallel variants, executed in run order). AdHoc throws like
+/// advance_species_runs.
+void advance_runs_serial(Species& sp, const InterpolatorArray& interp,
+                         AccumulatorArray& acc, const Grid& g,
+                         VectorStrategy strategy, const MoverOptions& opts,
+                         const std::vector<sort::CellRun>& runs,
+                         std::size_t r0, std::size_t r1);
+void advance_runs_serial(Species& sp, const InterpolatorArray& interp,
+                         TileAccumulator& acc, const Grid& g,
+                         VectorStrategy strategy, const MoverOptions& opts,
+                         const std::vector<sort::CellRun>& runs,
+                         std::size_t r0, std::size_t r1);
+
+/// Per-tile AutoDetect gate: run_aware_profitable evaluated on the
+/// subrange [n0, n1) with the tile's own sortedness state (per-tile
+/// staleness is what makes per-tile dispatch differ from global — a busy
+/// tile churning does not veto a quiet tile's fast path, and a sparse
+/// tile below min_particles falls back to generic on its own).
+[[nodiscard]] bool run_aware_profitable_range(const Species& sp, index_t n0,
+                                              index_t n1, bool sorted_hint,
+                                              int steps_since_sort);
 
 /// Remove particles marked exited (i < 0), preserving order of survivors.
 /// Returns the number removed.

@@ -29,7 +29,9 @@
 #include "core/push.hpp"
 #include "core/sort_particles.hpp"
 #include "core/step_graph.hpp"
+#include "core/tiles.hpp"
 #include "pk/instance.hpp"
+#include "pk/stealing.hpp"
 #include "prof/prof.hpp"
 
 namespace vpic::tune {
@@ -38,11 +40,16 @@ namespace vpic::tune {
 // cycle; the symbol resolves when the final binary links vpic_tune.
 struct TuneState;
 const TuneState& ensure_initialized();
+// Probed generic-push cost (s/particle) for tile-task cost seeding; 0
+// when unknown. Defined in src/tune/tune.cpp, resolved at final link.
+double push_cost_per_particle(core::ParticleLayout layout);
 }  // namespace vpic::tune
 
 namespace vpic::core {
 
-/// How Simulation::step() is executed (docs/ASYNC.md).
+/// How Simulation::step() is executed (docs/ASYNC.md). When
+/// SimulationConfig::tiles.enabled is set the tiled path
+/// (docs/TILES.md) supersedes this knob.
 ///   Graph      — the step is built as a validated StepGraph and run over
 ///                asynchronous execution instances; independent phases
 ///                (interpolator load vs accumulator clear, per-species
@@ -63,6 +70,42 @@ inline const char* to_string(StepScheduler s) noexcept {
   }
   return "?";
 }
+
+/// How the tiled step executes its (phase x tile) task graph
+/// (docs/TILES.md).
+///   Deterministic — every task runs on the calling thread in the serial
+///                   reference order with deposits into the global
+///                   accumulator: bit-identical to the untiled
+///                   Sequential step (for the per-particle-independent
+///                   Auto/Guided strategies).
+///   Stealing      — tasks run on the work-stealing pool with deposits
+///                   into tile-private accumulator blocks merged in
+///                   fixed tile order: bit-deterministic run-to-run and
+///                   across worker counts, but not bit-identical to the
+///                   sequential order (different float-add grouping).
+enum class TileExec : std::uint8_t { Deterministic, Stealing };
+
+inline const char* to_string(TileExec e) noexcept {
+  switch (e) {
+    case TileExec::Deterministic:
+      return "deterministic";
+    case TileExec::Stealing:
+      return "stealing";
+  }
+  return "?";
+}
+
+/// Tile decomposition of the step (docs/TILES.md). Excluded from
+/// config_fingerprint(): tiling changes scheduling and memory grouping,
+/// not physics, so checkpoints move freely between tiled and untiled
+/// runs.
+struct TileConfig {
+  bool enabled = false;
+  int count = 0;  // z-slab tiles; 0 = auto (4 x workers, clamped to nz)
+  TileExec exec = TileExec::Deterministic;
+  int workers = 2;             // stealing-pool threads (Stealing mode)
+  std::uint64_t steal_seed = 0x9e3779b97f4a7c15ull;  // victim RNG streams
+};
 
 struct SimulationConfig {
   Grid grid;
@@ -97,6 +140,18 @@ struct SimulationConfig {
   std::string checkpoint_path;
   int checkpoint_keep_last = 3;
   bool checkpoint_async = false;
+  // Tile-level task decomposition (docs/TILES.md). When enabled, step()
+  // takes the tiled path regardless of `scheduler`.
+  TileConfig tiles;
+};
+
+/// Telemetry of the most recent tiled step (docs/TILES.md).
+struct TileStepStats {
+  int tiles = 0;                    // tile count of the map
+  double imbalance = 1.0;           // max/mean particles per tile (worst
+                                    // species) at the last bucketing
+  pk::StealStats steal;             // zeroed in Deterministic mode
+  std::size_t concurrency_peak = 0; // phases in flight at once
 };
 
 struct EnergyReport {
@@ -226,6 +281,30 @@ class Simulation {
     return last_concurrency_peak_;
   }
 
+  // ---- tile decomposition (docs/TILES.md) ----------------------------
+
+  /// Tile map of the tiled step; count() == 0 before the first tiled
+  /// step (or when tiling is disabled).
+  [[nodiscard]] const TileMap& tile_map() const { return tile_map_; }
+
+  /// Telemetry of the most recent tiled step: tile count, particle
+  /// imbalance, steal/idle counters, concurrency peak. Also mirrored as
+  /// prof counters (tiles.imbalance_x100, steal.*) so profile_report()
+  /// and the farm's per-job status payload carry them.
+  [[nodiscard]] const TileStepStats& last_tile_stats() const {
+    return tile_stats_;
+  }
+
+  /// Tile-granular poll hook: invoked at every phase boundary of the
+  /// tiled step (both executors), on the stepping thread. The farm wires
+  /// its preemption check here so a yield request is *observed* within
+  /// one tile task instead of one whole step; the step still completes —
+  /// a checkpointable boundary — before run_until() actually yields
+  /// (docs/FARM.md).
+  void set_phase_poll(std::function<void()> poll) {
+    phase_poll_ = std::move(poll);
+  }
+
   // ---- checkpoint/restart (docs/CHECKPOINT.md, src/ckpt) -------------
 
   /// Serialize the full state (fields, interpolators, accumulators, every
@@ -270,7 +349,13 @@ class Simulation {
  private:
   void step_sequential();
   void step_graph_exec();
+  void step_tiled();
+  /// (Re)build the tile map, bucket every species by tile, and size the
+  /// per-(species, tile) accumulator blocks + stealing pool. Idempotent
+  /// while clean; restore()/injection growth set tiles_dirty_.
+  void ensure_tiles();
   [[nodiscard]] StepGraph build_step_graph(std::int64_t next_step);
+  [[nodiscard]] StepGraph build_tiled_step_graph(std::int64_t next_step);
   /// Write the next ring generation per the config (sync or async).
   void checkpoint_to_ring();
   [[nodiscard]] bool checkpoint_due(std::int64_t at_step) const {
@@ -292,6 +377,24 @@ class Simulation {
   double sort_seconds_ = 0;
   std::vector<PhaseStats> last_phase_stats_;
   std::size_t last_concurrency_peak_ = 0;
+  // ---- tile decomposition state (docs/TILES.md) ----------------------
+  TileMap tile_map_;
+  // Tile-private deposit blocks, [species][tile] — each owned exclusively
+  // by its (species, tile) push task. Only built in Stealing mode;
+  // Deterministic mode deposits straight into acc_.
+  std::vector<std::vector<TileAccumulator>> tile_acc_;
+  std::unique_ptr<pk::StealPool> steal_pool_;  // pool is non-movable
+  bool tiles_dirty_ = true;
+  TileStepStats tile_stats_;
+  std::function<void()> phase_poll_;
+  // Per-species push plan of the Deterministic tiled step: the GLOBAL
+  // dispatch decision + global run partition, so the per-tile serial
+  // pushes reproduce the untiled kernels' flush grouping bit for bit.
+  struct TilePushPlan {
+    bool use_runs = false;
+    std::vector<std::size_t> run_lo;  // run_lo[t]..run_lo[t+1] of push_runs
+  };
+  std::vector<TilePushPlan> tile_push_plans_;
   // Async checkpoint machinery (core/checkpoint.cpp): a lazily created
   // background writer instance plus an in-flight count bounding the
   // double buffer. The shared_ptr keeps the count alive for write tasks

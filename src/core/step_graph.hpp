@@ -34,6 +34,8 @@
 #include <string_view>
 #include <vector>
 
+#include "pk/stealing.hpp"
+
 namespace vpic::core {
 
 /// One schedulable unit of a step. `reads`/`writes` name abstract
@@ -45,6 +47,10 @@ struct StepPhase {
   std::vector<std::string> reads;
   std::vector<std::string> writes;
   std::function<void()> fn;
+  // Relative expected wall time, in any consistent unit (the tiled step
+  // seeds it from tune-probed ns/particle * tile population). Only the
+  // stealing executor reads it, for LPT initial placement.
+  double cost = 1.0;
 };
 
 /// Per-phase record of the most recent execute().
@@ -75,6 +81,23 @@ class StepGraph {
   /// concurrently on separate pk::Instance queues. Rethrows the first
   /// phase exception after quiescing (remaining phases are not started).
   void execute(std::size_t num_instances = 2);
+
+  /// Run all phases on the CALLING thread, in phase insertion order
+  /// (which by construction is the legacy serial sequence). This is the
+  /// bit-identical deterministic mode of the tiled step: no pool, no
+  /// scheduler, no concurrency — just the validated graph unrolled.
+  /// Still validates and records PhaseStats (instance_id = 0).
+  void execute_serial();
+
+  /// Run all phases on a work-stealing pool (pk/stealing.hpp). Initially
+  /// ready phases are placed LPT (longest `cost` first onto the
+  /// least-loaded worker) so the expected load starts balanced; each
+  /// completion spawns its newly-ready successors onto the completing
+  /// worker's own deque, and idle workers steal the rest. Returns the
+  /// round's steal stats (also retrievable from pool.last_stats()).
+  /// After a phase throws, successors are not started; the first
+  /// exception is rethrown once in-flight work drains.
+  pk::StealStats execute_stealing(pk::StealPool& pool);
 
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
 

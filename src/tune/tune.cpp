@@ -260,7 +260,8 @@ std::string default_cache_path() {
   return ".vpic_tune.json";
 }
 
-core::PushGates probe_push_gates(core::ParticleLayout layout) {
+core::PushGates probe_push_gates(core::ParticleLayout layout,
+                                 double* gen_cost_s) {
   const core::Grid g(8, 8, 8, 8.f, 8.f, 8.f, core::Grid::courant_dt(1, 1, 1));
   core::InterpolatorArray interp(g);  // zero fields: particles never move
   core::AccumulatorArray acc(g);
@@ -300,6 +301,7 @@ core::PushGates probe_push_gates(core::ParticleLayout layout) {
 
   const double nn = static_cast<double>(n);
   const double per_gen = t_gen / nn;
+  if (gen_cost_s != nullptr) *gen_cost_s = per_gen;
   const double per_long = t_long / nn;  // ~ c_inf + c_over/kPpc
   const double per_short = t_short / nn;
   const double c_over = std::max(per_short - per_long, 0.0);
@@ -435,13 +437,13 @@ std::string encode_cache(const TuneState& s) {
      << json_escape(s.fingerprint) << "\",\n  \"push_gates\": {\n";
   for (int i = 0; i < core::kNumParticleLayouts; ++i) {
     const core::PushGates& g = s.gates[i];
-    char buf[192];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "    \"%s\": {\"min_particles\": %lld, \"max_stale\": %d, "
-                  "\"min_mean_run\": %.17g}%s\n",
+                  "\"min_mean_run\": %.17g, \"gen_s_per_particle\": %.17g}%s\n",
                   core::to_string(core::kAllParticleLayouts[i]),
                   static_cast<long long>(g.min_particles), g.max_stale,
-                  g.min_mean_run,
+                  g.min_mean_run, s.push_cost_s[i],
                   i + 1 < core::kNumParticleLayouts ? "," : "");
     os << buf;
   }
@@ -473,6 +475,7 @@ std::optional<TuneError> decode_cache(const std::string& text,
     return TuneError{TuneErrorKind::Parse, "no push_gates object"};
 
   core::PushGates gates[core::kNumParticleLayouts];
+  double push_cost[core::kNumParticleLayouts] = {};
   for (int i = 0; i < core::kNumParticleLayouts; ++i) {
     const char* name = core::to_string(core::kAllParticleLayouts[i]);
     const std::size_t at = find_key(text, name, gates_at);
@@ -491,6 +494,22 @@ std::optional<TuneError> decode_cache(const std::string& text,
     if (!gates_in_range(gates[i]))
       return TuneError{TuneErrorKind::OutOfRange,
                        std::string("gates out of range for layout ") + name};
+    // Optional (added after VPICTUNE1 shipped): tolerate its absence so
+    // existing cache files stay valid; nonsense values degrade to
+    // "unknown" rather than rejecting the whole cache. Bounded to this
+    // layout's object so a pre-field cache can't borrow the next
+    // layout's value.
+    const std::size_t next =
+        i + 1 < core::kNumParticleLayouts
+            ? find_key(text, core::to_string(core::kAllParticleLayouts[i + 1]),
+                       at)
+            : find_key(text, "sort_model", at);
+    const std::size_t pc_at = find_key(text, "gen_s_per_particle", at);
+    if (pc_at != std::string::npos &&
+        (next == std::string::npos || pc_at < next)) {
+      const auto pc = read_number(text, "gen_s_per_particle", at);
+      if (pc && std::isfinite(*pc) && *pc > 0) push_cost[i] = *pc;
+    }
   }
 
   const std::size_t model_at = find_key(text, "sort_model", 0);
@@ -506,7 +525,10 @@ std::optional<TuneError> decode_cache(const std::string& text,
   if (!model_in_range(model))
     return TuneError{TuneErrorKind::OutOfRange, "sort_model out of range"};
 
-  for (int i = 0; i < core::kNumParticleLayouts; ++i) out.gates[i] = gates[i];
+  for (int i = 0; i < core::kNumParticleLayouts; ++i) {
+    out.gates[i] = gates[i];
+    out.push_cost_s[i] = push_cost[i];
+  }
   out.sort_model = model;
   return std::nullopt;
 }
@@ -544,7 +566,8 @@ TuneState initialize_from(const std::string& cache_path, bool force) {
   {
     prof::ScopedRegion r("tune_probe");
     for (int i = 0; i < core::kNumParticleLayouts; ++i)
-      s.gates[i] = probe_push_gates(core::kAllParticleLayouts[i]);
+      s.gates[i] =
+          probe_push_gates(core::kAllParticleLayouts[i], &s.push_cost_s[i]);
     s.sort_model = probe_sort_model();
     s.source = Source::Probes;
     prof::counter_add("tune.probe");
@@ -595,6 +618,13 @@ const TuneState& ensure_initialized() {
     }
   }
   return *g_state;
+}
+
+double push_cost_per_particle(core::ParticleLayout layout) {
+  const TuneState& s = ensure_initialized();
+  for (int i = 0; i < core::kNumParticleLayouts; ++i)
+    if (core::kAllParticleLayouts[i] == layout) return s.push_cost_s[i];
+  return 0.0;
 }
 
 void reset_for_testing() {

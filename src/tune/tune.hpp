@@ -76,6 +76,11 @@ struct TuneState {
   std::optional<TuneError> cache_error;
   core::PushGates gates[core::kNumParticleLayouts];
   core::SortDispatchModel sort_model;
+  // Measured generic-push cost (seconds per particle) per layout, from
+  // the same probe that solves the gates. 0 = unknown (defaults / old
+  // cache file without the field) — consumers fall back to uniform
+  // costs. Used to seed tile-task placement (docs/TILES.md).
+  double push_cost_s[core::kNumParticleLayouts] = {};
 };
 
 // ---------------------------------------------------------------------------
@@ -98,7 +103,10 @@ struct TuneState {
 /// min_particles in [64, 4096], max_stale in [8, 256], min_mean_run in
 /// [2, 16] — so a noisy probe can bias dispatch but never disable a path
 /// outright.
-[[nodiscard]] core::PushGates probe_push_gates(core::ParticleLayout layout);
+/// When `gen_cost_s` is non-null it receives the measured generic-push
+/// cost in seconds per particle (TuneState::push_cost_s).
+[[nodiscard]] core::PushGates probe_push_gates(core::ParticleLayout layout,
+                                               double* gen_cost_s = nullptr);
 
 /// Probe the counting-vs-radix crossover: fit the counting sort's
 /// per-cell cost from two timed bounds, time the radix fallback, and
@@ -131,6 +139,12 @@ const TuneState& ensure_initialized();
 /// `force` skips the cache read (VPIC_TUNE=force).
 [[nodiscard]] TuneState initialize_from(const std::string& cache_path,
                                         bool force);
+
+/// Tuned generic-push cost for `layout` in seconds per particle, or 0
+/// when unknown (tuning disabled, or a cache written before the field
+/// existed). Triggers ensure_initialized(). The tiled step multiplies
+/// this by each tile's population to seed work-stealing placement.
+[[nodiscard]] double push_cost_per_particle(core::ParticleLayout layout);
 
 /// Test hook: forget the memoized ensure_initialized() result and restore
 /// the built-in defaults in every registry.

@@ -488,6 +488,39 @@ TEST(FarmProf, JobsRecordScopedSliceCounters) {
             static_cast<std::uint64_t>(st->slices));
 }
 
+TEST(FarmProf, TiledStealingJobExportsStealCountersInStatusPayload) {
+  const auto dir = scratch("tilectrs");
+  farm::Scheduler::Options opt;
+  opt.ring_dir = (dir / "rings").string();
+  opt.slice_steps = 6;
+  farm::Scheduler s(opt);
+  farm::JobSpec spec;
+  spec.name = "tiledjob";
+  spec.make = [] {
+    auto sim = make_lpi_small(7);
+    sim.config().tiles.enabled = true;
+    sim.config().tiles.count = 2;
+    sim.config().tiles.exec = core::TileExec::Stealing;
+    sim.config().tiles.workers = 2;
+    return sim;
+  };
+  spec.total_steps = 12;
+  s.submit(spec);
+  const auto st = s.wait("tiledjob");
+  ASSERT_TRUE(st.has_value());
+  ASSERT_EQ(st->state, farm::JobState::Completed) << st->error;
+  // StealPool::run() reports steal.* on the calling (stepping) thread,
+  // inside the slice's CounterScope — so pool telemetry for a tiled job
+  // lands in the job's namespace without any farm-side plumbing.
+  EXPECT_GE(prof::counter_value("job.tiledjob.steal.tasks_run"), 1u);
+  EXPECT_GE(prof::counter_value("job.tiledjob.tiles.step"), 12u);
+  // And the status envelope carries them per job (prefix stripped).
+  farm::StatusBus bus(s, 0);
+  const std::string payload = bus.handle_command("status");
+  EXPECT_NE(payload.find("\"steal.tasks_run\":"), std::string::npos);
+  EXPECT_NE(payload.find("\"tiles.step\":"), std::string::npos);
+}
+
 // ---- status bus -----------------------------------------------------
 
 TEST(FarmStatusBus, CommandsAndStatusOverSocket) {
