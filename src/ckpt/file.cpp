@@ -244,6 +244,16 @@ const EncodedSection& FileReader::section(std::string_view name) {
   return slot.section;
 }
 
+std::vector<std::string> FileReader::section_names() const {
+  std::vector<std::string> names;
+  names.reserve(index_.size());
+  for (const auto& [name, idx] : index_) {
+    (void)idx;
+    names.push_back(name);
+  }
+  return names;
+}
+
 void FileReader::validate_all() {
   for (const auto& [name, idx] : index_) {
     (void)idx;

@@ -89,6 +89,11 @@ class FileReader {
     return index_.count(std::string(name)) != 0;
   }
 
+  /// All section names in the file, sorted (the index is an ordered map).
+  /// Lets restore code enumerate name-prefixed groups it does not know
+  /// statically (module sections, docs/CHECKPOINT.md).
+  [[nodiscard]] std::vector<std::string> section_names() const;
+
   /// Fetch a section by name (CRC-validated on first access). Throws
   /// RestoreError{MissingSection} / {SectionCorrupt}.
   const EncodedSection& section(std::string_view name);

@@ -18,6 +18,7 @@
 // leaves the simulation untouched (the generation-ring fallback then
 // tries the previous file).
 
+#include <cstdio>
 #include <filesystem>
 
 #include "ckpt/ckpt.hpp"
@@ -205,6 +206,108 @@ void read_history_sections(ckpt::FileReader& f, EnergyHistory& h) {
                              "energy-history ke section too long");
 }
 
+// ---- module sections (docs/MODULES.md, docs/CHECKPOINT.md) -----------
+//
+// Registered modules with state serialize under "mod.<id>.*", plus a
+// "mod.index" manifest of "id:version" lines. Restore matches the
+// manifest against the registry: a module the simulation does not have
+// (or whose recorded state version is newer than the module understands)
+// gets its sections skipped wholesale — restore still succeeds, and the
+// skip is reported as a typed ModuleSectionSkip instead of corrupting
+// anything. A registered stateful module absent from the file (the file
+// predates it) is reset via clear_state() so restore remains a complete
+// overwrite.
+
+void add_module_sections(
+    ckpt::FileWriter& w,
+    const std::vector<std::unique_ptr<PhysicsModule>>& modules) {
+  std::string index;
+  for (const auto& m : modules) {
+    if (!m->has_state()) continue;
+    index += std::string(m->id()) + ":" +
+             std::to_string(m->state_version()) + "\n";
+    ModuleStateWriter mw(w, "mod." + std::string(m->id()) + ".");
+    m->save_state(mw);
+  }
+  w.add_bytes("mod.index", index.data(), index.size());
+}
+
+void read_module_sections(
+    ckpt::FileReader& f,
+    const std::vector<std::unique_ptr<PhysicsModule>>& modules,
+    std::vector<ModuleSectionSkip>& skips) {
+  skips.clear();
+  // Parse the manifest; a pre-registry file has no mod.index and holds no
+  // module state, which reads as an empty manifest.
+  std::vector<std::pair<std::string, std::uint32_t>> in_file;
+  if (f.has("mod.index")) {
+    const ckpt::EncodedSection& s = f.section("mod.index");
+    std::string line;
+    for (std::size_t i = 0; i <= s.payload.size(); ++i) {
+      if (i < s.payload.size() &&
+          static_cast<char>(s.payload[i]) != '\n') {
+        line += static_cast<char>(s.payload[i]);
+        continue;
+      }
+      const auto colon = line.rfind(':');
+      if (colon != std::string::npos)
+        in_file.emplace_back(
+            line.substr(0, colon),
+            static_cast<std::uint32_t>(
+                std::stoul(line.substr(colon + 1))));
+      line.clear();
+    }
+  }
+  const std::vector<std::string> names = f.section_names();
+  auto prefix_count = [&names](const std::string& prefix) {
+    std::size_t n = 0;
+    for (const auto& name : names)
+      if (name.starts_with(prefix)) ++n;
+    return n;
+  };
+  for (const auto& [mid, ver] : in_file) {
+    PhysicsModule* mod = nullptr;
+    for (const auto& m : modules)
+      if (m->id() == mid) {
+        mod = m.get();
+        break;
+      }
+    const std::string prefix = "mod." + mid + ".";
+    if (mod != nullptr && mod->has_state() &&
+        ver <= mod->state_version()) {
+      ModuleStateReader mr(f, prefix);
+      mod->load_state(mr, ver);
+      continue;
+    }
+    // Unknown module, stateless now, or future state version: skip its
+    // sections, reset any live state, and report.
+    if (mod != nullptr) mod->clear_state();
+    ModuleSectionSkip skip;
+    skip.module = mid;
+    skip.version = ver;
+    skip.sections = prefix_count(prefix);
+    std::fprintf(stderr,
+                 "vpic: restore: skipping %zu checkpoint section(s) of "
+                 "module '%s' (state v%u, %s)\n",
+                 skip.sections, mid.c_str(), ver,
+                 mod == nullptr ? "module not registered"
+                                : "version newer than registered module");
+    prof::counter_add("ckpt.module_skips");
+    skips.push_back(std::move(skip));
+  }
+  // Stateful modules the file predates: reset to attach-time state.
+  for (const auto& m : modules) {
+    if (!m->has_state()) continue;
+    bool listed = false;
+    for (const auto& [mid, ver] : in_file)
+      if (mid == m->id()) {
+        listed = true;
+        break;
+      }
+    if (!listed) m->clear_state();
+  }
+}
+
 }  // namespace
 
 // ---- Simulation ------------------------------------------------------
@@ -245,6 +348,7 @@ std::uint64_t Simulation::checkpoint(const std::string& path) {
     prof::ScopedRegion enc("ckpt_encode");
     add_engine_sections(w, fields_, interp_, acc_, species_);
     add_history_sections(w, energy_history_);
+    add_module_sections(w, modules_);
   }
   const std::uint64_t bytes = w.commit(path, config_fingerprint(), step_count_);
   ++ckpt_written_;
@@ -268,6 +372,7 @@ void Simulation::checkpoint_async(const std::string& path) {
     prof::ScopedRegion enc("ckpt_encode");
     add_engine_sections(*w, fields_, interp_, acc_, species_);
     add_history_sections(*w, energy_history_);
+    add_module_sections(*w, modules_);
   }
   const std::uint64_t fp = config_fingerprint();
   const std::int64_t step = step_count_;
@@ -296,6 +401,7 @@ void Simulation::restore(const std::string& path) {
   f.validate_all();
   read_engine_sections(f, fields_, interp_, acc_, species_);
   read_history_sections(f, energy_history_);
+  read_module_sections(f, modules_, last_restore_skips_);
   step_count_ = f.step();
   // The restored particle arrays replace whatever the tile ranges pointed
   // at: force a re-bucket before the next tiled step (docs/TILES.md).

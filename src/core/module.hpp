@@ -1,0 +1,280 @@
+// core/module.hpp
+//
+// Composable physics-module registry (docs/MODULES.md): Simulation::step()
+// is no longer a hard-coded pipeline but a composition over registered
+// PhysicsModule objects. Each module declares its step phases — name,
+// read/write resource sets, cost hint, and (when the tiled step is active)
+// a tiled variant — plus its versioned checkpoint sections and its
+// counter-based RNG stream requirements. The core pipeline itself
+// (interpolate, push, accumulate, field advance, injection, diagnostics,
+// sort, checkpoint) is registered through the same interface
+// (core/pipeline_modules.cpp), so build_step_graph / build_tiled_step_graph
+// are generic composition: one source of truth for all three execution
+// shapes (Sequential, Graph, tiled Deterministic/Stealing).
+//
+// This is the seam the plugin-registry PIC architectures (PIConGPU's
+// plugin system, chombo-discharge's physics layers) use to absorb new
+// physics without touching the scheduler: a new module — collisions
+// (core/collide.hpp), tracer particles (core/tracer.hpp) — composes with
+// the StepGraph validator, the StealPool tiling, checkpoint/restore, the
+// vpic::tune cost models, and farm preemption for free, because each of
+// those consumes the module's declarations instead of a hand-maintained
+// list.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ckpt/file.hpp"
+#include "core/rng.hpp"
+#include "core/step_graph.hpp"
+
+namespace vpic::core {
+
+class Simulation;
+class TileMap;
+
+/// Canonical position of a module's phases in the step. Modules plan in
+/// ascending stage order (ties keep registration order), which is what
+/// makes the serial-chain (Deterministic) schedule physically sensible
+/// without any module knowing its neighbors.
+enum class StepStage : std::uint8_t {
+  Gather = 0,       // fields -> interpolator, accumulator clear
+  Push = 10,        // particle advance (and passive movers, e.g. tracers)
+  Deposit = 20,     // accumulator merge/reduce -> J
+  Field = 30,       // Maxwell advance
+  Inject = 40,      // deck injection hooks
+  Collide = 50,     // momentum-space operators on post-injection particles
+  Diagnose = 60,    // energy history, trajectory flushes
+  Sort = 70,        // particle reordering
+  Checkpoint = 80,  // periodic snapshot
+};
+
+/// FNV-1a over a string — stable module-id hashing for RNG domains.
+inline std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Per-module counter-based RNG domain (docs/MODULES.md, "RNG streams").
+/// A module derives one stream per logical site — conventionally
+/// (step, substream, site) — and draws from it with the counter-based
+/// generators in core/rng.hpp. Because a stream is a pure function of the
+/// key and never of execution order, results are bit-deterministic across
+/// worker counts, schedules, and particle layouts.
+struct ModuleRng {
+  std::uint64_t domain = 0;
+
+  /// Derive a stream seed from up to three key components.
+  [[nodiscard]] std::uint64_t stream(std::uint64_t a, std::uint64_t b = 0,
+                                     std::uint64_t c = 0) const noexcept {
+    return hash64(domain ^ hash64(a ^ hash64(b ^ hash64(c))));
+  }
+};
+
+/// Build-time context handed to PhysicsModule::plan(): which step is being
+/// built and under which execution shape. `poll` is the tile-granular
+/// preemption hook (docs/FARM.md) — tiled phase bodies call it at entry so
+/// a farm yield request is observed within one tile task; it is a no-op in
+/// the untiled shapes.
+struct ModuleStepContext {
+  std::int64_t next_step = 0;  // step count once this step completes
+  bool tiled = false;
+  bool stealing = false;             // tiled Stealing (vs Deterministic)
+  const TileMap* tiles = nullptr;    // valid when tiled
+  std::function<void()> poll;        // no-op when untiled
+};
+
+/// Prefix-scoped writer for a module's checkpoint sections: every section
+/// a module adds lands under "mod.<id>." so restore can skip an unknown
+/// module's sections wholesale without understanding them.
+class ModuleStateWriter {
+ public:
+  ModuleStateWriter(ckpt::FileWriter& w, std::string prefix)
+      : w_(w), prefix_(std::move(prefix)) {}
+
+  void add_bytes(std::string_view name, const void* data, std::size_t n) {
+    w_.add_bytes(prefix_ + std::string(name), data, n);
+  }
+  template <class Pod>
+  void add_pod(std::string_view name, const Pod& v) {
+    w_.add_pod(prefix_ + std::string(name), v);
+  }
+  template <class Pod>
+  void add_vector(std::string_view name, const std::vector<Pod>& v) {
+    w_.add_vector(prefix_ + std::string(name), v);
+  }
+
+ private:
+  ckpt::FileWriter& w_;
+  std::string prefix_;
+};
+
+/// Prefix-scoped reader mirroring ModuleStateWriter.
+class ModuleStateReader {
+ public:
+  ModuleStateReader(ckpt::FileReader& f, std::string prefix)
+      : f_(f), prefix_(std::move(prefix)) {}
+
+  [[nodiscard]] bool has(std::string_view name) const {
+    return f_.has(prefix_ + std::string(name));
+  }
+  const ckpt::EncodedSection& section(std::string_view name) {
+    return f_.section(prefix_ + std::string(name));
+  }
+  template <class Pod>
+  Pod pod(std::string_view name) {
+    return f_.pod<Pod>(prefix_ + std::string(name));
+  }
+  template <class Pod>
+  std::vector<Pod> vector(std::string_view name) {
+    return f_.vector<Pod>(prefix_ + std::string(name));
+  }
+
+ private:
+  ckpt::FileReader& f_;
+  std::string prefix_;
+};
+
+/// One unregistered-module section group skipped during restore: the file
+/// held state for a module this simulation does not have (or a newer state
+/// version than the registered module understands). The restore succeeds —
+/// everything else is applied — and the skip is reported here instead of
+/// corrupting anything (docs/CHECKPOINT.md, "Forward compatibility").
+struct ModuleSectionSkip {
+  std::string module;          // module id from the file's mod.index
+  std::uint32_t version = 0;   // state version the file recorded
+  std::size_t sections = 0;    // "mod.<id>.*" sections left unread
+};
+
+class StepComposer;
+
+/// A pluggable physics/pipeline component. Lifetime: owned by the
+/// Simulation registry; attach() runs once at registration (the only time
+/// a module may inspect the simulation outside a step); plan() runs at
+/// the top of every step to contribute phases to that step's graph.
+/// Modules MUST NOT store the Simulation& — simulations are moved (deck
+/// factories return them by value); every hook re-receives the reference.
+class PhysicsModule {
+ public:
+  virtual ~PhysicsModule() = default;
+
+  /// Stable identifier: registry key, checkpoint section prefix
+  /// ("mod.<id>."), RNG domain, prof counter namespace.
+  [[nodiscard]] virtual std::string_view id() const = 0;
+
+  [[nodiscard]] virtual StepStage stage() const = 0;
+
+  /// Called once when the module is registered (after any same-stage
+  /// predecessors). Derive RNG domains, seed module-owned particles, etc.
+  virtual void attach(Simulation&) {}
+
+  /// Contribute this step's phases. Called every step, in registry order,
+  /// under all execution shapes; `ctx` says which shape is being built.
+  /// A module that is idle this step simply adds nothing.
+  virtual void plan(Simulation& sim, const ModuleStepContext& ctx,
+                    StepComposer& c) = 0;
+
+  // ---- checkpoint sections (versioned, module-owned) -----------------
+  /// True when the module has state to serialize; stateless modules keep
+  /// the default and add nothing to checkpoint files.
+  [[nodiscard]] virtual bool has_state() const { return false; }
+  [[nodiscard]] virtual std::uint32_t state_version() const { return 1; }
+  virtual void save_state(ModuleStateWriter&) const {}
+  virtual void load_state(ModuleStateReader&, std::uint32_t /*version*/) {}
+  /// The restored file predates this module (no sections for it): reset
+  /// to the attach-time state so restore is a complete overwrite.
+  virtual void clear_state() {}
+};
+
+/// The surface modules plan phases against. Wraps the step's StepGraph
+/// with the composition conventions that keep a multi-module step both
+/// valid (every declared conflict path-ordered) and bit-reproducible:
+///
+///  * serial-chain mode (tiled Deterministic): add() chains every phase to
+///    the previous one — insertion order IS the schedule — and edge()/
+///    join() are no-ops. A module that plans in registry order needs no
+///    mode-specific logic to be correct here.
+///  * spine/branch/join (untiled Graph + tiled Stealing): add_spine()
+///    appends to the step's serial spine (ordered after the current tail
+///    and every pending join, then becomes the tail); add_branch() hangs
+///    off the tail without becoming it; join() parks a phase for the next
+///    spine phase to order after (how per-species sorts rejoin before the
+///    checkpoint, and how side phases like tracers order before the next
+///    spine stage).
+///  * anchors: well-known phase names published by earlier modules
+///    ("interp_ready", "acc_ready") so later modules can order against
+///    them without knowing which phase implements them in this shape.
+///  * all_resources(): every resource declared by any phase so far — the
+///    conservative write set of hooks that receive the whole Simulation&
+///    (replaces the hand-rolled "everything" lists the pre-registry
+///    builders maintained).
+class StepComposer {
+ public:
+  StepComposer(StepGraph& g, bool serial_chain)
+      : g_(g), serial_(serial_chain) {}
+
+  /// Add a phase; ordering is the caller's job via edge()/anchors (in
+  /// serial-chain mode the phase is chained to the previous one instead).
+  void add(StepPhase p);
+
+  /// Add a phase on the step spine: after tail + pending joins, becomes
+  /// the tail, clears pending joins.
+  void add_spine(StepPhase p);
+
+  /// Add a phase ordered after the tail and pending joins without
+  /// becoming the tail (pending joins stay pending).
+  void add_branch(StepPhase p);
+
+  /// Directed edge (no-op in serial-chain mode). Empty names are ignored,
+  /// so `c.edge(c.anchor("..."), name)` is safe when the anchor is unset.
+  void edge(const std::string& before, const std::string& after);
+
+  /// Park `phase` for the next add_spine() to order after.
+  void join(std::string phase);
+
+  void set_tail(std::string phase) { tail_ = std::move(phase); }
+  [[nodiscard]] const std::string& tail() const { return tail_; }
+
+  void set_anchor(const std::string& key, std::string phase) {
+    anchors_[key] = std::move(phase);
+  }
+  /// Phase name registered under `key`; "" when unset.
+  [[nodiscard]] std::string anchor(const std::string& key) const {
+    const auto it = anchors_.find(key);
+    return it == anchors_.end() ? std::string() : it->second;
+  }
+
+  /// Every resource any phase has declared so far (sorted, deduped).
+  [[nodiscard]] std::vector<std::string> all_resources() const {
+    return {resources_.begin(), resources_.end()};
+  }
+
+  [[nodiscard]] bool serial_chain() const { return serial_; }
+  [[nodiscard]] StepGraph& graph() { return g_; }
+
+ private:
+  StepGraph& g_;
+  bool serial_;
+  std::string last_added_;          // serial-chain predecessor
+  std::string tail_;                // spine tail
+  std::vector<std::string> pending_;  // parked joins
+  std::map<std::string, std::string> anchors_;
+  std::set<std::string> resources_;
+};
+
+/// Register the built-in pipeline modules (interpolate/push/accumulate/
+/// field/injection/diagnostics/sort/ckpt) on a fresh Simulation. Called by
+/// the Simulation constructor; defined in core/pipeline_modules.cpp.
+void register_core_pipeline(Simulation& sim);
+
+}  // namespace vpic::core

@@ -1,0 +1,649 @@
+// core/pipeline_modules.cpp
+//
+// The built-in step pipeline, expressed as registered PhysicsModules
+// (docs/MODULES.md): interpolate, push, accumulate, field advance,
+// injection, diagnostics, sort, checkpoint. Simulation::build_step_graph
+// and build_tiled_step_graph are generic composition over these — one
+// source of truth for the Sequential, Graph, and tiled
+// Deterministic/Stealing execution shapes, with phase names, bodies,
+// resource sets, and edges preserved exactly from the pre-registry
+// builders so the composed step is bit-identical to the legacy one
+// (tests/test_step_graph.cpp, tests/test_tiles.cpp).
+
+#include "core/simulation.hpp"
+
+namespace vpic::core {
+
+/// Private-state bridge for the built-in pipeline (befriended by
+/// Simulation). External modules do not get this: they compose through
+/// the public Simulation API.
+struct PipelineAccess {
+  static SimulationConfig& cfg(Simulation& s) { return s.cfg_; }
+  static FieldArray& fields(Simulation& s) { return s.fields_; }
+  static InterpolatorArray& interp(Simulation& s) { return s.interp_; }
+  static AccumulatorArray& acc(Simulation& s) { return s.acc_; }
+  static std::vector<Species>& species(Simulation& s) { return s.species_; }
+  static std::vector<PushPath>& last_push_paths(Simulation& s) {
+    return s.last_push_paths_;
+  }
+  static std::function<void(Simulation&)>& injection_hook(Simulation& s) {
+    return s.injection_hook_;
+  }
+  static EnergyHistory& history(Simulation& s) { return s.energy_history_; }
+  static std::int64_t step_count(Simulation& s) { return s.step_count_; }
+  static TileMap& tile_map(Simulation& s) { return s.tile_map_; }
+  static std::vector<std::vector<TileAccumulator>>& tile_acc(Simulation& s) {
+    return s.tile_acc_;
+  }
+  static std::vector<Simulation::TilePushPlan>& tile_push_plans(
+      Simulation& s) {
+    return s.tile_push_plans_;
+  }
+  static std::shared_ptr<std::vector<std::atomic<std::uint32_t>>>&
+  tiled_runs_used(Simulation& s) {
+    return s.tiled_runs_used_;
+  }
+  static bool checkpoint_due(Simulation& s, std::int64_t at_step) {
+    return s.checkpoint_due(at_step);
+  }
+  static void checkpoint_to_ring(Simulation& s) { s.checkpoint_to_ring(); }
+};
+
+namespace {
+
+using A = PipelineAccess;
+
+// Cost model of the tiled (phase x tile) tasks: tune-probed generic-push
+// seconds/particle (fallback to a nominal value when unprobed) scales tile
+// population into expected task cost; field/interp work scales with
+// voxels. Only relative magnitudes matter — LPT placement ranks tasks, it
+// doesn't time them.
+constexpr double kVoxelCost = 1e-9;
+
+std::string tile_suffix(int t) { return ".t" + std::to_string(t); }
+
+std::string part_res(const Species& sp) { return "particles." + sp.name; }
+std::string part_res(const Species& sp, int t) {
+  return "particles." + sp.name + tile_suffix(t);
+}
+std::string blk_res(const Species& sp, int t) {
+  return "acc." + sp.name + tile_suffix(t);
+}
+std::string push_name(const Species& sp) { return "push[" + sp.name + "]"; }
+std::string push_name(const Species& sp, int t) {
+  return "push[" + sp.name + tile_suffix(t) + "]";
+}
+
+// ---------------------------------------------------------------------
+// Gather: interpolator load (per tile when tiled) + accumulator clear.
+// Publishes the "interp_ready" / "acc_ready" anchors later stages order
+// against.
+// ---------------------------------------------------------------------
+class GatherModule final : public PhysicsModule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "interpolate"; }
+  [[nodiscard]] StepStage stage() const override { return StepStage::Gather; }
+
+  void plan(Simulation& sim, const ModuleStepContext& ctx,
+            StepComposer& c) override {
+    if (!ctx.tiled) {
+      c.add({"interpolate",
+             {"fields.eb"},
+             {"interp"},
+             [&sim] { A::interp(sim).load(A::fields(sim)); }});
+      c.add({"acc_clear", {}, {"acc"}, [&sim] { A::acc(sim).clear(); }});
+      c.set_anchor("interp_ready", "interpolate");
+      c.set_anchor("acc_ready", "acc_clear");
+      return;
+    }
+    const TileMap& tm = *ctx.tiles;
+    const int nt = tm.count();
+    const auto poll = ctx.poll;
+    for (int t = 0; t < nt; ++t) {
+      const std::string name = "interp[t" + std::to_string(t) + "]";
+      const int z0 = tm.z_lo(t), z1 = tm.z_hi(t);
+      c.add({name,
+             {"fields.eb"},
+             {"interp" + tile_suffix(t)},
+             [&sim, z0, z1, poll] {
+               poll();
+               A::interp(sim).load_planes(A::fields(sim), z0, z1);
+             },
+             static_cast<double>(z1 - z0 + 1) *
+                 static_cast<double>(tm.plane_voxels()) * kVoxelCost});
+    }
+    if (ctx.stealing) {
+      // Fan-in barrier: a tile's particles may have drifted arbitrarily
+      // far since the last bucketing, so every push conservatively reads
+      // the whole interpolator (declared as the "interp" resource).
+      std::vector<std::string> rd;
+      rd.reserve(static_cast<std::size_t>(nt));
+      for (int t = 0; t < nt; ++t) rd.push_back("interp" + tile_suffix(t));
+      c.add({"interp_done", std::move(rd), {"interp"}, [poll] { poll(); },
+             0.0});
+      for (int t = 0; t < nt; ++t)
+        c.edge("interp[t" + std::to_string(t) + "]", "interp_done");
+      c.set_anchor("interp_ready", "interp_done");
+    }
+    c.add({"acc_clear",
+           {},
+           {"acc"},
+           [&sim, poll] {
+             poll();
+             A::acc(sim).clear();
+           },
+           static_cast<double>(A::fields(sim).grid.nv()) * kVoxelCost});
+    c.set_anchor("acc_ready", "acc_clear");
+  }
+};
+
+// ---------------------------------------------------------------------
+// Push: per-species particle advance. Untiled: chained per-species phases
+// (they share the accumulator and float atomics are not associative).
+// Tiled Deterministic: a global dispatch/run-partition plan phase per
+// species, then per-tile serial pushes into the global accumulator —
+// concatenation reproduces the untiled kernels bit for bit. Tiled
+// Stealing: per-tile dispatch off the tile's own sortedness, deposits
+// into tile-private blocks.
+// ---------------------------------------------------------------------
+class PushModule final : public PhysicsModule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "push"; }
+  [[nodiscard]] StepStage stage() const override { return StepStage::Push; }
+
+  void plan(Simulation& sim, const ModuleStepContext& ctx,
+            StepComposer& c) override {
+    auto& species = A::species(sim);
+    const std::size_t ns = species.size();
+    A::last_push_paths(sim).resize(ns);
+    if (!ctx.tiled) {
+      std::string prev;
+      for (std::size_t s = 0; s < ns; ++s) {
+        const std::string name = push_name(species[s]);
+        c.add({name,
+               {"interp"},
+               {"acc", part_res(species[s])},
+               [&sim, s] {
+                 auto& cfg = A::cfg(sim);
+                 A::last_push_paths(sim)[s] = advance_species(
+                     A::species(sim)[s], A::interp(sim), A::acc(sim),
+                     A::fields(sim).grid, cfg.strategy, {}, cfg.push_path);
+               }});
+        if (s == 0) {
+          c.edge(c.anchor("interp_ready"), name);
+          c.edge(c.anchor("acc_ready"), name);
+        } else {
+          c.edge(prev, name);
+        }
+        prev = name;
+      }
+      c.set_tail(ns ? prev : c.anchor("acc_ready"));
+      return;
+    }
+
+    const TileMap& tm = *ctx.tiles;
+    const int nt = tm.count();
+    const auto poll = ctx.poll;
+    std::vector<double> push_pp(ns);
+    for (std::size_t s = 0; s < ns; ++s) {
+      push_pp[s] = tune::push_cost_per_particle(species[s].layout());
+      if (push_pp[s] <= 0) push_pp[s] = 5e-9;
+    }
+    std::shared_ptr<std::vector<std::atomic<std::uint32_t>>> runs_used;
+    if (ctx.stealing) {
+      runs_used = std::make_shared<std::vector<std::atomic<std::uint32_t>>>(
+          ns);
+      A::tiled_runs_used(sim) = runs_used;
+    }
+    for (std::size_t s = 0; s < ns; ++s) {
+      if (!ctx.stealing) {
+        // Global dispatch decision + global run segmentation, partitioned
+        // by tile index range: concatenating the per-tile serial pushes
+        // reproduces the untiled kernels' iteration order and flush
+        // grouping exactly (docs/TILES.md, "Determinism").
+        const std::string plan_name = "push_plan[" + species[s].name + "]";
+        std::vector<std::string> rd;
+        rd.reserve(static_cast<std::size_t>(nt));
+        for (int t = 0; t < nt; ++t) rd.push_back(part_res(species[s], t));
+        c.add({plan_name,
+               std::move(rd),
+               {"push_plan." + species[s].name},
+               [&sim, s, poll] {
+                 poll();
+                 auto& cfg = A::cfg(sim);
+                 Species& sp = A::species(sim)[s];
+                 auto& plan = A::tile_push_plans(sim)[s];
+                 bool use_runs = false;
+                 switch (cfg.push_path) {
+                   case PushPath::Generic:
+                     break;
+                   case PushPath::RunAware:
+                     use_runs = cfg.strategy != VectorStrategy::AdHoc;
+                     break;
+                   case PushPath::AutoDetect:
+                     use_runs = cfg.strategy != VectorStrategy::AdHoc &&
+                                run_aware_profitable(sp);
+                     break;
+                 }
+                 plan.use_runs = use_runs;
+                 A::last_push_paths(sim)[s] =
+                     use_runs ? PushPath::RunAware : PushPath::Generic;
+                 prof::counter_add(use_runs ? "push.dispatch.run_aware"
+                                            : "push.dispatch.generic");
+                 const int ntt = A::tile_map(sim).count();
+                 plan.run_lo.assign(static_cast<std::size_t>(ntt) + 1, 0);
+                 if (!use_runs) return;
+                 dispatch_layout(sp.p, [&](auto a) {
+                   sort::segment_runs(
+                       sp.np, [a](index_t i) { return a.cell(i); },
+                       sp.push_runs);
+                 });
+                 std::size_t r = 0;
+                 for (int t = 0; t < ntt; ++t) {
+                   plan.run_lo[static_cast<std::size_t>(t)] = r;
+                   const index_t end =
+                       sp.tiles[static_cast<std::size_t>(t)].end;
+                   while (r < sp.push_runs.size() &&
+                          sp.push_runs[r].begin < end)
+                     ++r;
+                 }
+                 plan.run_lo[static_cast<std::size_t>(ntt)] =
+                     sp.push_runs.size();
+               },
+               0.0});
+      }
+      for (int t = 0; t < nt; ++t) {
+        const std::string name = push_name(species[s], t);
+        const double cost =
+            static_cast<double>(
+                species[s].tiles[static_cast<std::size_t>(t)].count()) *
+            push_pp[s];
+        if (!ctx.stealing) {
+          c.add({name,
+                 {"interp", "push_plan." + species[s].name},
+                 {"acc", part_res(species[s], t)},
+                 [&sim, s, t, poll] {
+                   poll();
+                   auto& cfg = A::cfg(sim);
+                   Species& sp = A::species(sim)[s];
+                   const TileSlot& slot =
+                       sp.tiles[static_cast<std::size_t>(t)];
+                   const auto& plan = A::tile_push_plans(sim)[s];
+                   if (plan.use_runs) {
+                     advance_runs_serial(
+                         sp, A::interp(sim), A::acc(sim),
+                         A::fields(sim).grid, cfg.strategy, {}, sp.push_runs,
+                         plan.run_lo[static_cast<std::size_t>(t)],
+                         plan.run_lo[static_cast<std::size_t>(t) + 1]);
+                   } else if (slot.count() > 0) {
+                     advance_range_serial(sp, A::interp(sim), A::acc(sim),
+                                          A::fields(sim).grid, cfg.strategy,
+                                          {}, slot.begin, slot.end);
+                   }
+                 },
+                 cost});
+        } else {
+          c.add({name,
+                 {"interp"},
+                 {blk_res(species[s], t), part_res(species[s], t)},
+                 [&sim, s, t, runs_used, poll] {
+                   poll();
+                   auto& cfg = A::cfg(sim);
+                   Species& sp = A::species(sim)[s];
+                   TileSlot& slot = sp.tiles[static_cast<std::size_t>(t)];
+                   TileAccumulator& blk =
+                       A::tile_acc(sim)[s][static_cast<std::size_t>(t)];
+                   blk.clear();
+                   const index_t b = slot.begin, e = slot.end;
+                   if (b >= e) return;
+                   bool use_runs = false;
+                   switch (cfg.push_path) {
+                     case PushPath::Generic:
+                       break;
+                     case PushPath::RunAware:
+                       use_runs = cfg.strategy != VectorStrategy::AdHoc;
+                       break;
+                     case PushPath::AutoDetect:
+                       // Per-tile dispatch off the tile's OWN sortedness:
+                       // a churning tile goes generic without vetoing its
+                       // quiet neighbors' run-aware path.
+                       use_runs = cfg.strategy != VectorStrategy::AdHoc &&
+                                  run_aware_profitable_range(
+                                      sp, b, e, slot.sorted_hint,
+                                      slot.steps_since_sort);
+                       break;
+                   }
+                   prof::counter_add(use_runs ? "push.dispatch.run_aware"
+                                              : "push.dispatch.generic");
+                   if (use_runs) {
+                     (*runs_used)[s].store(1, std::memory_order_relaxed);
+                     dispatch_layout(sp.p, [&](auto a) {
+                       sort::segment_runs(
+                           e - b,
+                           [a, b](index_t i) { return a.cell(b + i); },
+                           slot.runs);
+                     });
+                     for (auto& r : slot.runs) r.begin += b;
+                     advance_runs_serial(sp, A::interp(sim), blk,
+                                         A::fields(sim).grid, cfg.strategy,
+                                         {}, slot.runs, 0, slot.runs.size());
+                   } else {
+                     advance_range_serial(sp, A::interp(sim), blk,
+                                          A::fields(sim).grid, cfg.strategy,
+                                          {}, b, e);
+                   }
+                 },
+                 cost});
+          c.edge(c.anchor("interp_ready"), name);
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// Deposit: (stealing: fixed-order merge of the tile-private blocks, then)
+// ghost reduction + accumulator unload into J. The tiled body also ages
+// every species' sortedness once per step, like the untiled
+// advance_species does internally.
+// ---------------------------------------------------------------------
+class AccumulateModule final : public PhysicsModule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "accumulate"; }
+  [[nodiscard]] StepStage stage() const override {
+    return StepStage::Deposit;
+  }
+
+  void plan(Simulation& sim, const ModuleStepContext& ctx,
+            StepComposer& c) override {
+    if (!ctx.tiled) {
+      c.add_spine({"accumulate",
+                   {"acc"},
+                   {"fields.j"},
+                   [&sim] {
+                     A::acc(sim).reduce_ghosts_periodic();
+                     A::acc(sim).unload(A::fields(sim));
+                   }});
+      return;
+    }
+    auto& species = A::species(sim);
+    const std::size_t ns = species.size();
+    const int nt = ctx.tiles->count();
+    const auto poll = ctx.poll;
+    const double nv_cost =
+        static_cast<double>(A::fields(sim).grid.nv()) * kVoxelCost;
+    if (ctx.stealing && ns > 0) {
+      // Deterministic seam merge: blocks land in the global accumulator
+      // in ascending (species, tile) order, window planes before overflow
+      // — the same float-add grouping every run, whatever the schedule.
+      std::vector<std::string> rd{"acc"};
+      for (std::size_t s = 0; s < ns; ++s)
+        for (int t = 0; t < nt; ++t) rd.push_back(blk_res(species[s], t));
+      c.add({"acc_merge",
+             std::move(rd),
+             {"acc"},
+             [&sim, poll] {
+               poll();
+               for (auto& per_sp : A::tile_acc(sim))
+                 for (auto& blk : per_sp) blk.merge_into(A::acc(sim));
+             },
+             nv_cost});
+      c.edge(c.anchor("acc_ready"), "acc_merge");
+      for (std::size_t s = 0; s < ns; ++s)
+        for (int t = 0; t < nt; ++t)
+          c.edge(push_name(species[s], t), "acc_merge");
+      c.set_tail("acc_merge");
+    } else if (ctx.stealing) {
+      c.set_tail(c.anchor("acc_ready"));
+    }
+    c.add_spine({"accumulate",
+                 {"acc"},
+                 {"fields.j"},
+                 [&sim, poll] {
+                   poll();
+                   A::acc(sim).reduce_ghosts_periodic();
+                   A::acc(sim).unload(A::fields(sim));
+                   // Sortedness ages once per step, like the untiled
+                   // advance_species — here, after every push task and
+                   // before any sort phase resets the counters.
+                   for (auto& sp : A::species(sim)) {
+                     sp.mark_order_degraded();
+                     for (auto& slot : sp.tiles) slot.mark_order_degraded();
+                   }
+                 },
+                 nv_cost});
+  }
+};
+
+// ---------------------------------------------------------------------
+// Field: B/2, E, B/2 with ghost updates between.
+// ---------------------------------------------------------------------
+class FieldModule final : public PhysicsModule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "field"; }
+  [[nodiscard]] StepStage stage() const override { return StepStage::Field; }
+
+  void plan(Simulation& sim, const ModuleStepContext& ctx,
+            StepComposer& c) override {
+    const auto poll = ctx.poll;
+    const double cost =
+        ctx.tiled
+            ? static_cast<double>(A::fields(sim).grid.nv()) * 3 * kVoxelCost
+            : 1.0;
+    c.add_spine({"field_advance",
+                 {"fields.j"},
+                 {"fields.eb"},
+                 [&sim, poll] {
+                   if (poll) poll();
+                   FieldArray& f = A::fields(sim);
+                   f.advance_b_half();
+                   f.update_ghosts_periodic();
+                   f.advance_e();
+                   f.update_ghosts_periodic();
+                   f.advance_b_half();
+                   f.update_ghosts_periodic();
+                 },
+                 cost});
+    // Orders the fields.eb read-write conflict against the interpolator
+    // load directly; with species the push chain already implies it,
+    // without species it is load-bearing.
+    c.edge(c.anchor("interp_ready"), "field_advance");
+  }
+};
+
+// ---------------------------------------------------------------------
+// Injection: the deck's per-step hook. It gets the whole Simulation&, so
+// it conservatively writes every resource declared so far.
+// ---------------------------------------------------------------------
+class InjectionModule final : public PhysicsModule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "injection"; }
+  [[nodiscard]] StepStage stage() const override { return StepStage::Inject; }
+
+  void plan(Simulation& sim, const ModuleStepContext& ctx,
+            StepComposer& c) override {
+    if (!A::injection_hook(sim)) return;
+    const auto poll = ctx.poll;
+    c.add_spine({"injection",
+                 {},
+                 c.all_resources(),
+                 [&sim, poll] {
+                   if (poll) poll();
+                   A::injection_hook(sim)(sim);
+                 },
+                 ctx.tiled ? 0.0 : 1.0});
+  }
+};
+
+// ---------------------------------------------------------------------
+// Diagnostics: energy history sampling on the configured interval.
+// ---------------------------------------------------------------------
+class DiagnosticsModule final : public PhysicsModule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "diagnostics"; }
+  [[nodiscard]] StepStage stage() const override {
+    return StepStage::Diagnose;
+  }
+
+  void plan(Simulation& sim, const ModuleStepContext& ctx,
+            StepComposer& c) override {
+    const auto& cfg = A::cfg(sim);
+    if (cfg.energy_interval <= 0 ||
+        ctx.next_step % cfg.energy_interval != 0)
+      return;
+    auto& species = A::species(sim);
+    std::vector<std::string> rd{"fields.eb"};
+    for (const auto& sp : species) {
+      if (!ctx.tiled) {
+        rd.push_back(part_res(sp));
+      } else {
+        for (int t = 0; t < ctx.tiles->count(); ++t)
+          rd.push_back(part_res(sp, t));
+      }
+    }
+    const auto poll = ctx.poll;
+    c.add_spine({"diagnostics",
+                 std::move(rd),
+                 {"diag"},
+                 [&sim, poll] {
+                   if (poll) poll();
+                   const auto e = sim.energies();
+                   A::history(sim).record(A::step_count(sim), e.field,
+                                          e.species);
+                 },
+                 ctx.tiled ? 0.0 : 1.0});
+  }
+};
+
+// ---------------------------------------------------------------------
+// Sort: per-species re-sorts on the configured interval. Untiled: one
+// phase per species, mutually unordered. Tiled: bucket-by-tile, per-tile
+// counting sorts, one finishing swap per species.
+// ---------------------------------------------------------------------
+class SortModule final : public PhysicsModule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "sort"; }
+  [[nodiscard]] StepStage stage() const override { return StepStage::Sort; }
+
+  void plan(Simulation& sim, const ModuleStepContext& ctx,
+            StepComposer& c) override {
+    const auto& cfg = A::cfg(sim);
+    if (cfg.sort_interval <= 0 || ctx.next_step % cfg.sort_interval != 0)
+      return;
+    auto& species = A::species(sim);
+    if (!ctx.tiled) {
+      std::uint32_t tile = cfg.sort_tile;
+      if (tile == 0)
+        tile =
+            static_cast<std::uint32_t>(pk::DefaultExecSpace::concurrency());
+      // Each sort touches only its own species: the phases are mutually
+      // unordered and run concurrently on separate instances.
+      for (std::size_t s = 0; s < species.size(); ++s) {
+        const std::string name = "sort[" + species[s].name + "]";
+        c.add_branch({name,
+                      {},
+                      {part_res(species[s])},
+                      [&sim, s, tile] {
+                        const auto& cfg2 = A::cfg(sim);
+                        sort_particles(
+                            A::species(sim)[s], cfg2.sort_order, tile,
+                            cfg2.seed + static_cast<std::uint64_t>(
+                                            A::step_count(sim)),
+                            A::fields(sim).grid.nv());
+                      }});
+        c.join(name);
+      }
+      return;
+    }
+    const int nt = ctx.tiles->count();
+    const auto poll = ctx.poll;
+    for (std::size_t s = 0; s < species.size(); ++s) {
+      const std::string bname = "sort_bucket[" + species[s].name + "]";
+      std::vector<std::string> wr;
+      wr.reserve(static_cast<std::size_t>(nt));
+      for (int t = 0; t < nt; ++t) wr.push_back(part_res(species[s], t));
+      c.add_branch({bname,
+                    {},
+                    std::move(wr),
+                    [&sim, s, poll] {
+                      poll();
+                      bucket_by_tile(A::species(sim)[s], A::tile_map(sim));
+                    },
+                    static_cast<double>(species[s].np) * kVoxelCost});
+      for (int t = 0; t < nt; ++t) {
+        const std::string name =
+            "sort[" + species[s].name + tile_suffix(t) + "]";
+        c.add({name,
+               {},
+               {part_res(species[s], t)},
+               [&sim, s, t, poll] {
+                 poll();
+                 sort_tile(A::species(sim)[s], A::tile_map(sim), t);
+               },
+               static_cast<double>(
+                   species[s].tiles[static_cast<std::size_t>(t)].count()) *
+                   kVoxelCost});
+        c.edge(bname, name);
+      }
+      const std::string fname = "sort_finish[" + species[s].name + "]";
+      std::vector<std::string> fwr;
+      fwr.reserve(static_cast<std::size_t>(nt));
+      for (int t = 0; t < nt; ++t) fwr.push_back(part_res(species[s], t));
+      c.add({fname,
+             {},
+             std::move(fwr),
+             [&sim, s, poll] {
+               poll();
+               finish_tile_sort(A::species(sim)[s]);
+               prof::counter_add("tiles.sort");
+             },
+             0.0});
+      for (int t = 0; t < nt; ++t)
+        c.edge("sort[" + species[s].name + tile_suffix(t) + "]", fname);
+      c.join(fname);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// Checkpoint: periodic ring snapshot. Reads every resource declared this
+// step so validate() proves the capture cannot race anything in flight;
+// the joins (sorts, collide) order the particle-resource conflicts to
+// match the sequential tail, which checkpoints last.
+// ---------------------------------------------------------------------
+class CheckpointModule final : public PhysicsModule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "ckpt"; }
+  [[nodiscard]] StepStage stage() const override {
+    return StepStage::Checkpoint;
+  }
+
+  void plan(Simulation& sim, const ModuleStepContext& ctx,
+            StepComposer& c) override {
+    if (!A::checkpoint_due(sim, ctx.next_step)) return;
+    const auto poll = ctx.poll;
+    c.add_spine({"ckpt",
+                 c.all_resources(),
+                 {"ckpt"},
+                 [&sim, poll] {
+                   if (poll) poll();
+                   A::checkpoint_to_ring(sim);
+                 },
+                 ctx.tiled ? 0.0 : 1.0});
+  }
+};
+
+}  // namespace
+
+void register_core_pipeline(Simulation& sim) {
+  sim.add_module<GatherModule>();
+  sim.add_module<PushModule>();
+  sim.add_module<AccumulateModule>();
+  sim.add_module<FieldModule>();
+  sim.add_module<InjectionModule>();
+  sim.add_module<DiagnosticsModule>();
+  sim.add_module<SortModule>();
+  sim.add_module<CheckpointModule>();
+}
+
+}  // namespace vpic::core

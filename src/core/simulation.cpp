@@ -1,5 +1,7 @@
 #include "core/simulation.hpp"
 
+#include <stdexcept>
+
 #include "core/rng.hpp"
 
 namespace vpic::core {
@@ -42,235 +44,86 @@ void Simulation::load_uniform_plasma(std::size_t species_idx, int ppc,
   sp.np = n;
 }
 
+// ---- physics-module registry (docs/MODULES.md) -----------------------
+
+PhysicsModule& Simulation::add_module(std::unique_ptr<PhysicsModule> m) {
+  if (!m) throw std::invalid_argument("add_module: null module");
+  for (const auto& e : modules_)
+    if (e->id() == m->id())
+      throw std::invalid_argument("add_module: duplicate module id '" +
+                                  std::string(m->id()) + "'");
+  // Keep ascending stage order, ties in registration order, so plan()
+  // composes the step in the canonical stage sequence.
+  auto pos = modules_.end();
+  for (auto it = modules_.begin(); it != modules_.end(); ++it)
+    if ((*it)->stage() > m->stage()) {
+      pos = it;
+      break;
+    }
+  PhysicsModule& ref = *m;
+  modules_.insert(pos, std::move(m));
+  ref.attach(*this);
+  return ref;
+}
+
+PhysicsModule* Simulation::find_module(std::string_view id) {
+  for (const auto& m : modules_)
+    if (m->id() == id) return m.get();
+  return nullptr;
+}
+
+// ---- step execution --------------------------------------------------
+
 void Simulation::step() {
   if (cfg_.tiles.enabled) {
     step_tiled();
-  } else if (cfg_.scheduler == StepScheduler::Sequential) {
-    step_sequential();
   } else {
-    step_graph_exec();
+    step_untiled();
   }
 }
 
-// Legacy straight-line schedule: the reference order the graph scheduler
-// must reproduce bit-identically (tests/test_step_graph.cpp).
-void Simulation::step_sequential() {
-  prof::ScopedRegion step_region("step");
-
-  {
-    prof::ScopedRegion r("interpolate");
-    interp_.load(fields_);
-    acc_.clear();
-  }
-
-  {
-    // The sink keeps the legacy push_seconds() accessor live even with
-    // profiling off; with it on, the same interval is the "step/push"
-    // region (with the per-strategy kernels as children).
-    prof::ScopedRegion r("push", &push_seconds_);
-    last_push_paths_.resize(species_.size());
-    for (std::size_t s = 0; s < species_.size(); ++s)
-      last_push_paths_[s] =
-          advance_species(species_[s], interp_, acc_, fields_.grid,
-                          cfg_.strategy, {}, cfg_.push_path);
-  }
-
-  {
-    prof::ScopedRegion r("accumulate");
-    acc_.reduce_ghosts_periodic();
-    acc_.unload(fields_);
-  }
-
-  {
-    prof::ScopedRegion r("field_advance");
-    fields_.advance_b_half();
-    fields_.update_ghosts_periodic();
-    fields_.advance_e();
-    fields_.update_ghosts_periodic();
-    fields_.advance_b_half();
-    fields_.update_ghosts_periodic();
-  }
-
-  ++step_count_;
-  if (injection_hook_) injection_hook_(*this);
-  if (cfg_.energy_interval > 0 &&
-      step_count_ % cfg_.energy_interval == 0) {
-    prof::ScopedRegion r("diagnostics");
-    const auto e = energies();
-    energy_history_.record(step_count_, e.field, e.species);
-  }
-  if (cfg_.sort_interval > 0 && step_count_ % cfg_.sort_interval == 0) {
-    std::uint32_t tile = cfg_.sort_tile;
-    if (tile == 0)
-      tile = static_cast<std::uint32_t>(pk::DefaultExecSpace::concurrency());
-    prof::ScopedRegion r("sort", &sort_seconds_);
-    // Cell keys are voxel indices, bounded by grid.nv(): passing the bound
-    // lets the standard order skip its min/max reduce and go straight to
-    // the single-pass counting sort.
-    for (auto& sp : species_)
-      sort_particles(sp, cfg_.sort_order, tile,
-                     cfg_.seed + static_cast<std::uint64_t>(step_count_),
-                     fields_.grid.nv());
-  }
-  if (checkpoint_due(step_count_)) checkpoint_to_ring();
-}
-
-// Express the step as a validated StepGraph. Every edge below orders a
-// conflicting phase pair to match step_sequential(), so the scheduled
-// result is bit-identical to the legacy order; what remains unordered is
-// exactly the concurrency that cannot change results (interpolator load
-// vs accumulator clear, per-species sorts). Per-species push phases are
-// chained — they share the accumulator and float atomics are not
-// associative. See docs/ASYNC.md for the graph picture.
-//
-// `next_step` is the step count this step will end on; the interval
-// conditions (diagnostics, sort) are evaluated against it at build time
-// so the graph's shape matches what the legacy tail would have done.
-StepGraph Simulation::build_step_graph(std::int64_t next_step) {
-  StepGraph g;
-
-  std::vector<std::string> particle_res;
-  particle_res.reserve(species_.size());
-  for (const auto& sp : species_)
-    particle_res.push_back("particles." + sp.name);
-
-  g.add_phase({"interpolate",
-               {"fields.eb"},
-               {"interp"},
-               [this] { interp_.load(fields_); }});
-  g.add_phase({"acc_clear", {}, {"acc"}, [this] { acc_.clear(); }});
-
-  last_push_paths_.resize(species_.size());
-  std::string prev;
-  for (std::size_t s = 0; s < species_.size(); ++s) {
-    std::string name = "push[" + species_[s].name + "]";
-    g.add_phase({name,
-                 {"interp"},
-                 {"acc", particle_res[s]},
-                 [this, s] {
-                   last_push_paths_[s] =
-                       advance_species(species_[s], interp_, acc_,
-                                       fields_.grid, cfg_.strategy, {},
-                                       cfg_.push_path);
-                 }});
-    if (s == 0) {
-      g.add_edge("interpolate", name);
-      g.add_edge("acc_clear", name);
-    } else {
-      g.add_edge(prev, name);
-    }
-    prev = std::move(name);
-  }
-
-  g.add_phase({"accumulate",
-               {"acc"},
-               {"fields.j"},
-               [this] {
-                 acc_.reduce_ghosts_periodic();
-                 acc_.unload(fields_);
-               }});
-  g.add_edge(species_.empty() ? "acc_clear" : prev, "accumulate");
-
-  g.add_phase({"field_advance",
-               {"fields.j"},
-               {"fields.eb"},
-               [this] {
-                 fields_.advance_b_half();
-                 fields_.update_ghosts_periodic();
-                 fields_.advance_e();
-                 fields_.update_ghosts_periodic();
-                 fields_.advance_b_half();
-                 fields_.update_ghosts_periodic();
-               }});
-  g.add_edge("accumulate", "field_advance");
-  // Orders the fields.eb read-write conflict directly; with species the
-  // push chain already implies it, without species it is load-bearing.
-  g.add_edge("interpolate", "field_advance");
-
-  std::string tail = "field_advance";
-  if (injection_hook_) {
-    // The hook gets the whole Simulation&, so it conservatively writes
-    // everything a deck hook might touch.
-    std::vector<std::string> wr{"fields.eb", "fields.j", "interp", "acc"};
-    wr.insert(wr.end(), particle_res.begin(), particle_res.end());
-    g.add_phase({"injection",
-                 {},
-                 std::move(wr),
-                 [this] { injection_hook_(*this); }});
-    g.add_edge(tail, "injection");
-    tail = "injection";
-  }
-  if (cfg_.energy_interval > 0 && next_step % cfg_.energy_interval == 0) {
-    std::vector<std::string> rd{"fields.eb"};
-    rd.insert(rd.end(), particle_res.begin(), particle_res.end());
-    g.add_phase({"diagnostics",
-                 std::move(rd),
-                 {"diag"},
-                 [this] {
-                   const auto e = energies();
-                   energy_history_.record(step_count_, e.field, e.species);
-                 }});
-    g.add_edge(tail, "diagnostics");
-    tail = "diagnostics";
-  }
-  std::vector<std::string> sort_names;
-  if (cfg_.sort_interval > 0 && next_step % cfg_.sort_interval == 0) {
-    std::uint32_t tile = cfg_.sort_tile;
-    if (tile == 0)
-      tile = static_cast<std::uint32_t>(pk::DefaultExecSpace::concurrency());
-    // Each sort touches only its own species: the phases are mutually
-    // unordered and run concurrently on separate instances.
-    for (std::size_t s = 0; s < species_.size(); ++s) {
-      std::string name = "sort[" + species_[s].name + "]";
-      g.add_phase({name,
-                   {},
-                   {particle_res[s]},
-                   [this, s, tile] {
-                     sort_particles(
-                         species_[s], cfg_.sort_order, tile,
-                         cfg_.seed + static_cast<std::uint64_t>(step_count_),
-                         fields_.grid.nv());
-                   }});
-      g.add_edge(tail, name);
-      sort_names.push_back(std::move(name));
-    }
-  }
-  if (checkpoint_due(next_step)) {
-    // The snapshot reads everything it serializes; declaring the full
-    // read set lets validate() prove the capture cannot race a sort (or
-    // anything else) still in flight. The sort edges order the
-    // particle-resource conflicts to match the sequential tail, which
-    // checkpoints after sorting.
-    std::vector<std::string> rd{"fields.eb", "fields.j", "interp", "acc",
-                                "diag"};
-    rd.insert(rd.end(), particle_res.begin(), particle_res.end());
-    g.add_phase({"ckpt",
-                 std::move(rd),
-                 {"ckpt"},
-                 [this] { checkpoint_to_ring(); }});
-    g.add_edge(tail, "ckpt");
-    for (const auto& sn : sort_names) g.add_edge(sn, "ckpt");
-  }
-  return g;
-}
-
-void Simulation::step_graph_exec() {
+// Both untiled schedulers run the same registry-composed graph: the
+// Sequential scheduler unrolls it on the calling thread in insertion
+// order — which by construction (stage-ordered modules, spine
+// composition) is the legacy serial sequence — and Graph runs it over the
+// async instance pool. Bit-identical either way: every conflicting phase
+// pair is path-ordered to match the serial order
+// (tests/test_step_graph.cpp).
+void Simulation::step_untiled() {
   prof::ScopedRegion step_region("step");
   StepGraph g = build_step_graph(step_count_ + 1);
   g.validate();
-  // The phases' interval seeds and record timestamps read step_count_
+  // Phase bodies' interval seeds and record timestamps read step_count_
   // post-increment, exactly like the legacy tail.
   ++step_count_;
-  g.execute(cfg_.graph_instances);
-  last_phase_stats_ = g.last_stats();
-  last_concurrency_peak_ = g.last_concurrency_peak();
-  for (const PhaseStats& st : last_phase_stats_) {
+  const bool sequential = cfg_.scheduler == StepScheduler::Sequential;
+  if (sequential) {
+    g.execute_serial();
+  } else {
+    g.execute(cfg_.graph_instances);
+  }
+  for (const PhaseStats& st : g.last_stats()) {
     if (st.name.starts_with("push[")) {
       push_seconds_ += st.seconds;
     } else if (st.name.starts_with("sort[")) {
       sort_seconds_ += st.seconds;
     }
   }
+  if (!sequential) {
+    // The Sequential scheduler keeps the legacy contract of publishing no
+    // per-phase stats (tests/test_step_graph.cpp).
+    last_phase_stats_ = g.last_stats();
+    last_concurrency_peak_ = g.last_concurrency_peak();
+  }
+}
+
+StepGraph Simulation::build_step_graph(std::int64_t next_step) {
+  StepGraph g;
+  StepComposer c(g, /*serial_chain=*/false);
+  ModuleStepContext ctx;
+  ctx.next_step = next_step;
+  for (const auto& m : modules_) m->plan(*this, ctx, c);
+  return g;
 }
 
 // ---------------------------------------------------------------------
@@ -324,432 +177,21 @@ void Simulation::ensure_tiles() {
 
 StepGraph Simulation::build_tiled_step_graph(std::int64_t next_step) {
   StepGraph g;
-  const int nt = tile_map_.count();
   const bool stealing = cfg_.tiles.exec == TileExec::Stealing;
-  const std::size_t ns = species_.size();
-
-  auto tag = [](const char* base, int t) {
-    return std::string(base) + std::to_string(t);
-  };
-  auto poll = [this] {
+  // Deterministic mode is the serial reference order: the composer chains
+  // every phase to its predecessor so insertion order IS the schedule
+  // (and validate() passes trivially). Stealing mode composes the real
+  // partial order from the modules' spine/branch/anchor declarations.
+  StepComposer c(g, /*serial_chain=*/!stealing);
+  ModuleStepContext ctx;
+  ctx.next_step = next_step;
+  ctx.tiled = true;
+  ctx.stealing = stealing;
+  ctx.tiles = &tile_map_;
+  ctx.poll = [this] {
     if (phase_poll_) phase_poll_();
   };
-
-  // Resource names. Validate() matches resources by exact string, so a
-  // per-tile slice is a distinct resource from the whole ("interp.t3" vs
-  // "interp"); phases touching the whole declare every slice too.
-  std::vector<std::string> interp_res(static_cast<std::size_t>(nt));
-  for (int t = 0; t < nt; ++t) interp_res[t] = tag("interp.t", t);
-  std::vector<std::vector<std::string>> part_res(ns);
-  std::vector<std::vector<std::string>> blk_res(ns);
-  for (std::size_t s = 0; s < ns; ++s) {
-    part_res[s].reserve(static_cast<std::size_t>(nt));
-    blk_res[s].reserve(static_cast<std::size_t>(nt));
-    for (int t = 0; t < nt; ++t) {
-      part_res[s].push_back("particles." + species_[s].name + ".t" +
-                            std::to_string(t));
-      blk_res[s].push_back("acc." + species_[s].name + ".t" +
-                           std::to_string(t));
-    }
-  }
-  std::vector<std::string> everything{"fields.eb", "fields.j", "interp",
-                                      "acc", "diag"};
-  everything.insert(everything.end(), interp_res.begin(), interp_res.end());
-  for (std::size_t s = 0; s < ns; ++s)
-    everything.insert(everything.end(), part_res[s].begin(),
-                      part_res[s].end());
-
-  // Cost model: tune-probed generic-push seconds/particle (fallback to a
-  // nominal value when unprobed) scales tile population into expected
-  // task cost; field/interp work scales with voxels. Only relative
-  // magnitudes matter — LPT placement ranks tasks, it doesn't time them.
-  constexpr double kVoxelCost = 1e-9;
-  std::vector<double> push_pp(ns);
-  for (std::size_t s = 0; s < ns; ++s) {
-    push_pp[s] = tune::push_cost_per_particle(species_[s].layout());
-    if (push_pp[s] <= 0) push_pp[s] = 5e-9;
-  }
-
-  // Deterministic mode is the serial reference order: chain every phase
-  // to its predecessor so insertion order IS the schedule (and validate()
-  // passes trivially). Stealing mode declares only the real partial
-  // order below.
-  std::string prev;
-  auto chain = [&](const std::string& name) {
-    if (stealing) return;
-    if (!prev.empty()) g.add_edge(prev, name);
-    prev = name;
-  };
-
-  // -- interpolate, one task per tile ---------------------------------
-  for (int t = 0; t < nt; ++t) {
-    const std::string name = "interp[t" + std::to_string(t) + "]";
-    const int z0 = tile_map_.z_lo(t), z1 = tile_map_.z_hi(t);
-    g.add_phase({name,
-                 {"fields.eb"},
-                 {interp_res[static_cast<std::size_t>(t)]},
-                 [this, z0, z1, poll] {
-                   poll();
-                   interp_.load_planes(fields_, z0, z1);
-                 },
-                 static_cast<double>(z1 - z0 + 1) *
-                     static_cast<double>(tile_map_.plane_voxels()) *
-                     kVoxelCost});
-    chain(name);
-  }
-  if (stealing) {
-    // Fan-in barrier: a tile's particles may have drifted arbitrarily far
-    // since the last bucketing, so every push conservatively reads the
-    // whole interpolator (declared as the "interp" resource).
-    std::vector<std::string> rd = interp_res;
-    g.add_phase({"interp_done", std::move(rd), {"interp"}, [poll] { poll(); },
-                 0.0});
-    for (int t = 0; t < nt; ++t)
-      g.add_edge("interp[t" + std::to_string(t) + "]", "interp_done");
-  }
-
-  g.add_phase({"acc_clear",
-               {},
-               {"acc"},
-               [this, poll] {
-                 poll();
-                 acc_.clear();
-               },
-               static_cast<double>(fields_.grid.nv()) * kVoxelCost});
-  chain("acc_clear");
-
-  // -- push, one task per (species, tile) -----------------------------
-  // In stealing mode `runs_used` collects (bit per species, set by any
-  // tile that took the run-aware path) so last_push_paths_ reports how
-  // per-tile AutoDetect resolved; shared_ptr keeps it alive inside the
-  // phase closures.
-  auto runs_used =
-      std::make_shared<std::vector<std::atomic<std::uint32_t>>>(ns);
-  for (std::size_t s = 0; s < ns; ++s) {
-    if (!stealing) {
-      // Global dispatch decision + global run segmentation, partitioned
-      // by tile index range: concatenating the per-tile serial pushes
-      // reproduces the untiled kernels' iteration order and flush
-      // grouping exactly (docs/TILES.md, "Determinism").
-      const std::string plan_name = "push_plan[" + species_[s].name + "]";
-      std::vector<std::string> rd = part_res[s];
-      g.add_phase({plan_name,
-                   std::move(rd),
-                   {"push_plan." + species_[s].name},
-                   [this, s, poll] {
-                     poll();
-                     Species& sp = species_[s];
-                     TilePushPlan& plan = tile_push_plans_[s];
-                     bool use_runs = false;
-                     switch (cfg_.push_path) {
-                       case PushPath::Generic:
-                         break;
-                       case PushPath::RunAware:
-                         use_runs = cfg_.strategy != VectorStrategy::AdHoc;
-                         break;
-                       case PushPath::AutoDetect:
-                         use_runs = cfg_.strategy != VectorStrategy::AdHoc &&
-                                    run_aware_profitable(sp);
-                         break;
-                     }
-                     plan.use_runs = use_runs;
-                     last_push_paths_[s] =
-                         use_runs ? PushPath::RunAware : PushPath::Generic;
-                     prof::counter_add(use_runs ? "push.dispatch.run_aware"
-                                                : "push.dispatch.generic");
-                     const int ntt = tile_map_.count();
-                     plan.run_lo.assign(static_cast<std::size_t>(ntt) + 1, 0);
-                     if (!use_runs) return;
-                     dispatch_layout(sp.p, [&](auto a) {
-                       sort::segment_runs(
-                           sp.np, [a](index_t i) { return a.cell(i); },
-                           sp.push_runs);
-                     });
-                     std::size_t r = 0;
-                     for (int t = 0; t < ntt; ++t) {
-                       plan.run_lo[static_cast<std::size_t>(t)] = r;
-                       const index_t end =
-                           sp.tiles[static_cast<std::size_t>(t)].end;
-                       while (r < sp.push_runs.size() &&
-                              sp.push_runs[r].begin < end)
-                         ++r;
-                     }
-                     plan.run_lo[static_cast<std::size_t>(ntt)] =
-                         sp.push_runs.size();
-                   },
-                   0.0});
-      chain(plan_name);
-    }
-    for (int t = 0; t < nt; ++t) {
-      const std::string name =
-          "push[" + species_[s].name + ".t" + std::to_string(t) + "]";
-      const double cost =
-          static_cast<double>(
-              species_[s].tiles[static_cast<std::size_t>(t)].count()) *
-          push_pp[s];
-      if (!stealing) {
-        g.add_phase(
-            {name,
-             {"interp", "push_plan." + species_[s].name},
-             {"acc", part_res[s][static_cast<std::size_t>(t)]},
-             [this, s, t, poll] {
-               poll();
-               Species& sp = species_[s];
-               const TileSlot& slot = sp.tiles[static_cast<std::size_t>(t)];
-               const TilePushPlan& plan = tile_push_plans_[s];
-               if (plan.use_runs) {
-                 advance_runs_serial(
-                     sp, interp_, acc_, fields_.grid, cfg_.strategy, {},
-                     sp.push_runs, plan.run_lo[static_cast<std::size_t>(t)],
-                     plan.run_lo[static_cast<std::size_t>(t) + 1]);
-               } else if (slot.count() > 0) {
-                 advance_range_serial(sp, interp_, acc_, fields_.grid,
-                                      cfg_.strategy, {}, slot.begin,
-                                      slot.end);
-               }
-             },
-             cost});
-        chain(name);
-      } else {
-        g.add_phase(
-            {name,
-             {"interp"},
-             {blk_res[s][static_cast<std::size_t>(t)],
-              part_res[s][static_cast<std::size_t>(t)]},
-             [this, s, t, runs_used, poll] {
-               poll();
-               Species& sp = species_[s];
-               TileSlot& slot = sp.tiles[static_cast<std::size_t>(t)];
-               TileAccumulator& blk = tile_acc_[s][static_cast<std::size_t>(t)];
-               blk.clear();
-               const index_t b = slot.begin, e = slot.end;
-               if (b >= e) return;
-               bool use_runs = false;
-               switch (cfg_.push_path) {
-                 case PushPath::Generic:
-                   break;
-                 case PushPath::RunAware:
-                   use_runs = cfg_.strategy != VectorStrategy::AdHoc;
-                   break;
-                 case PushPath::AutoDetect:
-                   // Per-tile dispatch off the tile's OWN sortedness: a
-                   // churning tile goes generic without vetoing its
-                   // quiet neighbors' run-aware path.
-                   use_runs =
-                       cfg_.strategy != VectorStrategy::AdHoc &&
-                       run_aware_profitable_range(sp, b, e, slot.sorted_hint,
-                                                  slot.steps_since_sort);
-                   break;
-               }
-               prof::counter_add(use_runs ? "push.dispatch.run_aware"
-                                          : "push.dispatch.generic");
-               if (use_runs) {
-                 (*runs_used)[s].store(1, std::memory_order_relaxed);
-                 dispatch_layout(sp.p, [&](auto a) {
-                   sort::segment_runs(
-                       e - b, [a, b](index_t i) { return a.cell(b + i); },
-                       slot.runs);
-                 });
-                 for (auto& r : slot.runs) r.begin += b;
-                 advance_runs_serial(sp, interp_, blk, fields_.grid,
-                                     cfg_.strategy, {}, slot.runs, 0,
-                                     slot.runs.size());
-               } else {
-                 advance_range_serial(sp, interp_, blk, fields_.grid,
-                                      cfg_.strategy, {}, b, e);
-               }
-             },
-             cost});
-        g.add_edge("interp_done", name);
-      }
-    }
-  }
-
-  if (stealing) {
-    // Deterministic seam merge: blocks land in the global accumulator in
-    // ascending (species, tile) order, window planes before overflow —
-    // the same float-add grouping every run, whatever the schedule was.
-    std::vector<std::string> rd{"acc"};
-    for (std::size_t s = 0; s < ns; ++s)
-      rd.insert(rd.end(), blk_res[s].begin(), blk_res[s].end());
-    g.add_phase({"acc_merge",
-                 std::move(rd),
-                 {"acc"},
-                 [this, runs_used, poll] {
-                   poll();
-                   for (std::size_t s = 0; s < species_.size(); ++s) {
-                     for (auto& blk : tile_acc_[s]) blk.merge_into(acc_);
-                     last_push_paths_[s] =
-                         (*runs_used)[s].load(std::memory_order_relaxed)
-                             ? PushPath::RunAware
-                             : PushPath::Generic;
-                   }
-                 },
-                 static_cast<double>(fields_.grid.nv()) * kVoxelCost});
-    g.add_edge("acc_clear", "acc_merge");
-    for (std::size_t s = 0; s < ns; ++s)
-      for (int t = 0; t < nt; ++t)
-        g.add_edge("push[" + species_[s].name + ".t" + std::to_string(t) +
-                       "]",
-                   "acc_merge");
-  }
-
-  g.add_phase({"accumulate",
-               {"acc"},
-               {"fields.j"},
-               [this, poll] {
-                 poll();
-                 acc_.reduce_ghosts_periodic();
-                 acc_.unload(fields_);
-                 // Sortedness ages once per step, like the untiled
-                 // advance_species — here, after every push task and
-                 // before any sort phase resets the counters.
-                 for (auto& sp : species_) {
-                   sp.mark_order_degraded();
-                   for (auto& slot : sp.tiles) slot.mark_order_degraded();
-                 }
-               },
-               static_cast<double>(fields_.grid.nv()) * kVoxelCost});
-  if (stealing) {
-    g.add_edge(ns ? "acc_merge" : "acc_clear", "accumulate");
-  } else {
-    chain("accumulate");
-  }
-
-  g.add_phase({"field_advance",
-               {"fields.j"},
-               {"fields.eb"},
-               [this, poll] {
-                 poll();
-                 fields_.advance_b_half();
-                 fields_.update_ghosts_periodic();
-                 fields_.advance_e();
-                 fields_.update_ghosts_periodic();
-                 fields_.advance_b_half();
-                 fields_.update_ghosts_periodic();
-               },
-               static_cast<double>(fields_.grid.nv()) * 3 * kVoxelCost});
-  if (stealing) {
-    g.add_edge("accumulate", "field_advance");
-    g.add_edge("interp_done", "field_advance");
-  } else {
-    chain("field_advance");
-  }
-
-  std::string tail = "field_advance";
-  if (injection_hook_) {
-    std::vector<std::string> wr = everything;
-    g.add_phase({"injection",
-                 {},
-                 std::move(wr),
-                 [this, poll] {
-                   poll();
-                   injection_hook_(*this);
-                 },
-                 0.0});
-    if (stealing)
-      g.add_edge(tail, "injection");
-    else
-      chain("injection");
-    tail = "injection";
-  }
-  if (cfg_.energy_interval > 0 && next_step % cfg_.energy_interval == 0) {
-    std::vector<std::string> rd{"fields.eb"};
-    for (std::size_t s = 0; s < ns; ++s)
-      rd.insert(rd.end(), part_res[s].begin(), part_res[s].end());
-    g.add_phase({"diagnostics",
-                 std::move(rd),
-                 {"diag"},
-                 [this, poll] {
-                   poll();
-                   const auto e = energies();
-                   energy_history_.record(step_count_, e.field, e.species);
-                 },
-                 0.0});
-    if (stealing)
-      g.add_edge(tail, "diagnostics");
-    else
-      chain("diagnostics");
-    tail = "diagnostics";
-  }
-
-  // -- tiled sort: bucket by tile, per-tile counting sorts, one swap ---
-  std::vector<std::string> finish_names;
-  if (cfg_.sort_interval > 0 && next_step % cfg_.sort_interval == 0) {
-    for (std::size_t s = 0; s < ns; ++s) {
-      const std::string bname = "sort_bucket[" + species_[s].name + "]";
-      std::vector<std::string> wr = part_res[s];
-      g.add_phase({bname,
-                   {},
-                   std::move(wr),
-                   [this, s, poll] {
-                     poll();
-                     bucket_by_tile(species_[s], tile_map_);
-                   },
-                   static_cast<double>(species_[s].np) * kVoxelCost});
-      if (stealing)
-        g.add_edge(tail, bname);
-      else
-        chain(bname);
-      for (int t = 0; t < nt; ++t) {
-        const std::string name =
-            "sort[" + species_[s].name + ".t" + std::to_string(t) + "]";
-        g.add_phase({name,
-                     {},
-                     {part_res[s][static_cast<std::size_t>(t)]},
-                     [this, s, t, poll] {
-                       poll();
-                       sort_tile(species_[s], tile_map_, t);
-                     },
-                     static_cast<double>(
-                         species_[s].tiles[static_cast<std::size_t>(t)]
-                             .count()) *
-                         kVoxelCost});
-        if (stealing)
-          g.add_edge(bname, name);
-        else
-          chain(name);
-      }
-      const std::string fname = "sort_finish[" + species_[s].name + "]";
-      std::vector<std::string> fwr = part_res[s];
-      g.add_phase({fname,
-                   {},
-                   std::move(fwr),
-                   [this, s, poll] {
-                     poll();
-                     finish_tile_sort(species_[s]);
-                     prof::counter_add("tiles.sort");
-                   },
-                   0.0});
-      if (stealing) {
-        for (int t = 0; t < nt; ++t)
-          g.add_edge("sort[" + species_[s].name + ".t" + std::to_string(t) +
-                         "]",
-                     fname);
-      } else {
-        chain(fname);
-      }
-      finish_names.push_back(fname);
-    }
-  }
-
-  if (checkpoint_due(next_step)) {
-    std::vector<std::string> rd = everything;
-    g.add_phase({"ckpt",
-                 std::move(rd),
-                 {"ckpt"},
-                 [this, poll] {
-                   poll();
-                   checkpoint_to_ring();
-                 },
-                 0.0});
-    if (stealing) {
-      g.add_edge(tail, "ckpt");
-      for (const auto& fn : finish_names) g.add_edge(fn, "ckpt");
-    } else {
-      chain("ckpt");
-    }
-  }
+  for (const auto& m : modules_) m->plan(*this, ctx, c);
   return g;
 }
 
@@ -766,6 +208,14 @@ void Simulation::step_tiled() {
     tile_stats_.steal = {};
   } else {
     tile_stats_.steal = g.execute_stealing(*steal_pool_);
+    // Resolve how per-tile AutoDetect dispatch went (bit per species, set
+    // by any tile that took the run-aware path).
+    if (tiled_runs_used_ && tiled_runs_used_->size() == species_.size())
+      for (std::size_t s = 0; s < species_.size(); ++s)
+        last_push_paths_[s] =
+            (*tiled_runs_used_)[s].load(std::memory_order_relaxed)
+                ? PushPath::RunAware
+                : PushPath::Generic;
   }
   last_phase_stats_ = g.last_stats();
   last_concurrency_peak_ = g.last_concurrency_peak();

@@ -25,6 +25,7 @@
 #include "core/field.hpp"
 #include "core/grid.hpp"
 #include "core/interpolator.hpp"
+#include "core/module.hpp"
 #include "core/particle.hpp"
 #include "core/push.hpp"
 #include "core/sort_particles.hpp"
@@ -174,6 +175,9 @@ class Simulation {
     // Calibrate (or load) the hot-path dispatch models before the first
     // step so AutoDetect pushes and sort dispatch run with measured gates.
     tune::ensure_initialized();
+    // The step pipeline itself is a set of registered physics modules
+    // (docs/MODULES.md); decks and users add more with add_module().
+    register_core_pipeline(*this);
   }
 
   /// Add a species with given charge/mass and capacity; returns its index.
@@ -305,6 +309,45 @@ class Simulation {
     phase_poll_ = std::move(poll);
   }
 
+  // ---- physics-module registry (docs/MODULES.md) ---------------------
+
+  /// Register a module. The registry stays sorted by StepStage (ties keep
+  /// registration order); attach() runs immediately. Returns a reference
+  /// that stays valid for the simulation's lifetime (modules are
+  /// heap-owned). Throws std::invalid_argument on a duplicate id.
+  PhysicsModule& add_module(std::unique_ptr<PhysicsModule> m);
+
+  template <class M, class... Args>
+  M& add_module(Args&&... args) {
+    auto owned = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *owned;
+    add_module(std::unique_ptr<PhysicsModule>(std::move(owned)));
+    return ref;
+  }
+
+  /// Registered module by id; nullptr when absent.
+  [[nodiscard]] PhysicsModule* find_module(std::string_view id);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<PhysicsModule>>& modules()
+      const {
+    return modules_;
+  }
+
+  /// Per-module RNG domain, derived from the config seed and the module
+  /// id — disjoint from the particle-loading streams and from every other
+  /// module (docs/MODULES.md, "RNG streams").
+  [[nodiscard]] ModuleRng module_rng(std::string_view id) const {
+    return ModuleRng{hash64(cfg_.seed ^ fnv1a64(id))};
+  }
+
+  /// Module section groups the most recent restore() skipped because the
+  /// file held state for a module this simulation does not register (or a
+  /// newer state version). Empty after a fully-consumed restore.
+  [[nodiscard]] const std::vector<ModuleSectionSkip>& last_restore_skips()
+      const {
+    return last_restore_skips_;
+  }
+
   // ---- checkpoint/restart (docs/CHECKPOINT.md, src/ckpt) -------------
 
   /// Serialize the full state (fields, interpolators, accumulators, every
@@ -347,8 +390,12 @@ class Simulation {
   }
 
  private:
-  void step_sequential();
-  void step_graph_exec();
+  // Grants the built-in pipeline modules (core/pipeline_modules.cpp)
+  // access to the engine state their phase bodies drive; external modules
+  // use the public accessors instead.
+  friend struct PipelineAccess;
+
+  void step_untiled();
   void step_tiled();
   /// (Re)build the tile map, bucket every species by tile, and size the
   /// per-(species, tile) accumulator blocks + stealing pool. Idempotent
@@ -395,6 +442,14 @@ class Simulation {
     std::vector<std::size_t> run_lo;  // run_lo[t]..run_lo[t+1] of push_runs
   };
   std::vector<TilePushPlan> tile_push_plans_;
+  // Stealing-mode "any tile took the run-aware path" bits (one atomic per
+  // species), reset by the push module's plan() each tiled step and read
+  // after execution to resolve last_push_paths_. Heap-shared because the
+  // phase closures outlive neither but Simulation must stay movable.
+  std::shared_ptr<std::vector<std::atomic<std::uint32_t>>> tiled_runs_used_;
+  // ---- physics-module registry (docs/MODULES.md) ---------------------
+  std::vector<std::unique_ptr<PhysicsModule>> modules_;
+  std::vector<ModuleSectionSkip> last_restore_skips_;
   // Async checkpoint machinery (core/checkpoint.cpp): a lazily created
   // background writer instance plus an in-flight count bounding the
   // double buffer. The shared_ptr keeps the count alive for write tasks
