@@ -261,13 +261,5 @@ void FileReader::validate_all() {
   }
 }
 
-void FileReader::require_fingerprint(std::uint64_t expected) const {
-  if (header_.fingerprint != expected)
-    throw RestoreError(
-        RestoreErrorKind::FingerprintMismatch,
-        "'" + path_ + "' was written by a different deck/config (have " +
-            std::to_string(header_.fingerprint) + ", expected " +
-            std::to_string(expected) + ")");
-}
 
 }  // namespace vpic::ckpt

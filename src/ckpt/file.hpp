@@ -13,6 +13,11 @@
 // total size and table CRC up front, and validates each payload's CRC on
 // first access — every failure is a typed RestoreError (format.hpp), which
 // is what the generation-ring fallback dispatches on.
+//
+// SectionSource is the abstract read surface both FileReader and the
+// elastic chain reader (src/elastic, docs/ELASTIC.md) implement: restore
+// code written against it consumes a plain single file and a resolved
+// base+delta generation chain identically.
 #pragma once
 
 #include <cstdint>
@@ -62,6 +67,13 @@ class FileWriter {
     return sections_.size();
   }
 
+  /// The accumulated sections, in add() order. The incremental checkpoint
+  /// path (src/elastic) diffs a populated writer against the previous
+  /// generation's hashes instead of committing it wholesale.
+  [[nodiscard]] const std::vector<EncodedSection>& sections() const noexcept {
+    return sections_;
+  }
+
   /// Serialize everything to `path` via write-to-temp + atomic rename.
   /// Returns the committed file size. Throws RestoreError{IoError} on any
   /// filesystem failure (temp file is removed best-effort).
@@ -72,36 +84,29 @@ class FileWriter {
   std::vector<EncodedSection> sections_;
 };
 
-class FileReader {
+/// Abstract read surface for restore code: a set of named sections plus
+/// the envelope metadata (fingerprint, step). FileReader implements it
+/// over a single committed file; elastic::ChainReader implements it over
+/// a resolved base+delta generation chain. Everything in
+/// core/checkpoint.cpp restores through this interface, so a simulation
+/// cannot tell the two apart.
+class SectionSource {
  public:
-  /// Open + validate the envelope (header CRC, magic, version, size,
-  /// table CRC). Section payload CRCs are validated lazily on access.
-  explicit FileReader(const std::string& path);
+  virtual ~SectionSource() = default;
 
-  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
-    return header_.fingerprint;
-  }
-  [[nodiscard]] std::int64_t step() const noexcept { return header_.step; }
-  [[nodiscard]] std::size_t section_count() const noexcept {
-    return sections_.size();
-  }
-  [[nodiscard]] bool has(std::string_view name) const {
-    return index_.count(std::string(name)) != 0;
-  }
+  [[nodiscard]] virtual bool has(std::string_view name) const = 0;
 
-  /// All section names in the file, sorted (the index is an ordered map).
-  /// Lets restore code enumerate name-prefixed groups it does not know
-  /// statically (module sections, docs/CHECKPOINT.md).
-  [[nodiscard]] std::vector<std::string> section_names() const;
+  /// All section names, sorted. Lets restore code enumerate
+  /// name-prefixed groups it does not know statically (module sections,
+  /// docs/CHECKPOINT.md).
+  [[nodiscard]] virtual std::vector<std::string> section_names() const = 0;
 
-  /// Fetch a section by name (CRC-validated on first access). Throws
-  /// RestoreError{MissingSection} / {SectionCorrupt}.
-  const EncodedSection& section(std::string_view name);
+  /// Fetch a section by name (integrity-validated on first access).
+  /// Throws RestoreError{MissingSection} / {SectionCorrupt}.
+  virtual const EncodedSection& section(std::string_view name) = 0;
 
-  /// CRC-validate every payload now. Restore paths call this before
-  /// mutating any live state, so a torn/flipped payload anywhere in the
-  /// file surfaces before a single byte of the simulation changes.
-  void validate_all();
+  [[nodiscard]] virtual std::uint64_t fingerprint() const noexcept = 0;
+  [[nodiscard]] virtual std::int64_t step() const noexcept = 0;
 
   template <class T, int R, class L = pk::LayoutRight>
   pk::View<T, R, L> view(std::string_view name,
@@ -142,9 +147,48 @@ class FileReader {
     return v;
   }
 
-  /// Throws RestoreError{FingerprintMismatch} unless the file was written
-  /// by a matching deck/config.
-  void require_fingerprint(std::uint64_t expected) const;
+  /// Throws RestoreError{FingerprintMismatch} unless the source was
+  /// written by a matching deck/config.
+  void require_fingerprint(std::uint64_t expected) const {
+    if (fingerprint() != expected)
+      throw RestoreError(RestoreErrorKind::FingerprintMismatch,
+                         "checkpoint was written by a different deck/config "
+                         "(have " +
+                             std::to_string(fingerprint()) + ", expected " +
+                             std::to_string(expected) + ")");
+  }
+};
+
+class FileReader : public SectionSource {
+ public:
+  /// Open + validate the envelope (header CRC, magic, version, size,
+  /// table CRC). Section payload CRCs are validated lazily on access.
+  explicit FileReader(const std::string& path);
+
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept override {
+    return header_.fingerprint;
+  }
+  [[nodiscard]] std::int64_t step() const noexcept override {
+    return header_.step;
+  }
+  [[nodiscard]] std::size_t section_count() const noexcept {
+    return sections_.size();
+  }
+  [[nodiscard]] bool has(std::string_view name) const override {
+    return index_.count(std::string(name)) != 0;
+  }
+
+  /// All section names in the file, sorted (the index is an ordered map).
+  [[nodiscard]] std::vector<std::string> section_names() const override;
+
+  /// Fetch a section by name (CRC-validated on first access). Throws
+  /// RestoreError{MissingSection} / {SectionCorrupt}.
+  const EncodedSection& section(std::string_view name) override;
+
+  /// CRC-validate every payload now. Restore paths call this before
+  /// mutating any live state, so a torn/flipped payload anywhere in the
+  /// file surfaces before a single byte of the simulation changes.
+  void validate_all();
 
  private:
   struct Slot {

@@ -18,12 +18,17 @@
 // leaves the simulation untouched (the generation-ring fallback then
 // tries the previous file).
 
+#include <algorithm>
+#include <cstring>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 
 #include "ckpt/ckpt.hpp"
 #include "core/domain.hpp"
 #include "core/simulation.hpp"
+#include "elastic/elastic.hpp"
 #include "prof/prof.hpp"
 
 namespace vpic::core {
@@ -57,13 +62,52 @@ std::string species_prefix(std::size_t i) {
   return "sp" + std::to_string(i) + ".";
 }
 
+/// Fixed fallback chunk size of the incremental particle layout
+/// (docs/ELASTIC.md) when a species has no usable tile partition.
+constexpr index_t kChunkParticles = 16384;
+
+/// Chunk ranges over [0, np) for the incremental particle layout: the
+/// species' tile slots when they exactly partition the live range
+/// (tile-granular dirty tracking — a delta stores only the tiles whose
+/// payload hash moved), fixed kChunkParticles blocks otherwise. Always at
+/// least one (possibly empty) chunk, so the reassembled section keeps its
+/// element size.
+std::vector<std::pair<index_t, index_t>> particle_chunks(const Species& sp) {
+  std::vector<std::pair<index_t, index_t>> r;
+  if (!sp.tiles.empty()) {
+    index_t at = 0;
+    bool contiguous = true;
+    for (const TileSlot& t : sp.tiles) {
+      if (t.begin != at || t.end < t.begin) {
+        contiguous = false;
+        break;
+      }
+      at = t.end;
+    }
+    if (contiguous && at == sp.np) {
+      for (const TileSlot& t : sp.tiles) r.emplace_back(t.begin, t.end);
+      if (r.empty()) r.emplace_back(0, 0);
+      return r;
+    }
+  }
+  for (index_t at = 0; at < sp.np; at += kChunkParticles)
+    r.emplace_back(at, std::min(sp.np, at + kChunkParticles));
+  if (r.empty()) r.emplace_back(0, 0);
+  return r;
+}
+
 // The engine-state section set is shared between the single-node and the
 // per-rank distributed checkpoints: fields, interpolator, accumulator,
-// and every species (particles + metadata + name).
+// and every species (particles + metadata + name). With `chunked` set
+// (the incremental path, docs/ELASTIC.md) each species' particle payload
+// is split into "sp<i>.c<k>.p" chunk sections plus an "sp<i>.nchunks"
+// count instead of the monolithic "sp<i>.p" — elastic::ChainReader
+// reassembles the canonical stream on restore.
 void add_engine_sections(ckpt::FileWriter& w, const FieldArray& f,
                          const InterpolatorArray& interp,
                          const AccumulatorArray& acc,
-                         const std::vector<Species>& species) {
+                         const std::vector<Species>& species,
+                         bool chunked = false) {
   w.add_view("f.ex", f.ex);
   w.add_view("f.ey", f.ey);
   w.add_view("f.ez", f.ez);
@@ -92,17 +136,46 @@ void add_engine_sections(ckpt::FileWriter& w, const FieldArray& f,
     // The on-disk particle stream is the canonical packed AoS record for
     // every layout, so the file format (and its CRCs) is layout-invariant
     // and a checkpoint round-trips across AoS/SoA/AoSoA stores.
+    if (!chunked) {
+      if (sp.p.layout() == ParticleLayout::AoS) {
+        w.add_view(pfx + "p", sp.p.aos_view(), sp.np);
+      } else {
+        pk::View<Particle, 1> canon("ckpt_canon_" + sp.name, sp.np);
+        sp.p.export_aos(canon.data(), sp.np);
+        w.add_view(pfx + "p", canon);
+      }
+      continue;
+    }
+    // Chunked layout: one canonical AoS staging, then per-chunk copies in
+    // index order (chunk boundaries follow the tile partition, so the
+    // concatenation in k order IS the canonical stream).
+    pk::View<Particle, 1> canon("ckpt_canon_" + sp.name, sp.np);
+    const Particle* src = canon.data();
     if (sp.p.layout() == ParticleLayout::AoS) {
-      w.add_view(pfx + "p", sp.p.aos_view(), sp.np);
+      src = sp.p.aos_view().data();
     } else {
-      pk::View<Particle, 1> canon("ckpt_canon_" + sp.name, sp.np);
       sp.p.export_aos(canon.data(), sp.np);
-      w.add_view(pfx + "p", canon);
+    }
+    const auto chunks = particle_chunks(sp);
+    w.add_pod(pfx + "nchunks", static_cast<std::uint64_t>(chunks.size()));
+    for (std::size_t k = 0; k < chunks.size(); ++k) {
+      const auto [begin, end] = chunks[k];
+      ckpt::EncodedSection c;
+      c.name = pfx + "c" + std::to_string(k) + ".p";
+      c.elem_size = sizeof(Particle);
+      c.rank = 1;
+      c.extents[0] = static_cast<std::int64_t>(end - begin);
+      c.layout = ckpt::kLayoutRight;
+      c.payload.resize(static_cast<std::size_t>(end - begin) *
+                       sizeof(Particle));
+      if (end > begin)
+        std::memcpy(c.payload.data(), src + begin, c.payload.size());
+      w.add(std::move(c));
     }
   }
 }
 
-void read_engine_sections(ckpt::FileReader& f, FieldArray& fld,
+void read_engine_sections(ckpt::SectionSource& f, FieldArray& fld,
                           InterpolatorArray& interp, AccumulatorArray& acc,
                           std::vector<Species>& species) {
   const auto nsp = f.pod<std::uint64_t>("nspecies");
@@ -181,7 +254,7 @@ void add_history_sections(ckpt::FileWriter& w, const EnergyHistory& h) {
   w.add_vector("diag.ke", ke);
 }
 
-void read_history_sections(ckpt::FileReader& f, EnergyHistory& h) {
+void read_history_sections(ckpt::SectionSource& f, EnergyHistory& h) {
   const auto steps = f.vector<std::int64_t>("diag.steps");
   const auto field = f.vector<double>("diag.field");
   const auto counts = f.vector<std::uint64_t>("diag.counts");
@@ -233,7 +306,7 @@ void add_module_sections(
 }
 
 void read_module_sections(
-    ckpt::FileReader& f,
+    ckpt::SectionSource& f,
     const std::vector<std::unique_ptr<PhysicsModule>>& modules,
     std::vector<ModuleSectionSkip>& skips) {
   skips.clear();
@@ -308,9 +381,48 @@ void read_module_sections(
   }
 }
 
+/// Generation number of a ring path "<base>.g<N>", or -1 for anything
+/// else. Incremental chains only make sense inside a generation ring
+/// (deltas resolve siblings by rewriting the suffix); a plain path gets a
+/// plain full checkpoint instead.
+std::int64_t ring_generation_of(const std::string& path) {
+  const auto dot = path.rfind(".g");
+  if (dot == std::string::npos || dot + 2 >= path.size()) return -1;
+  for (std::size_t i = dot + 2; i < path.size(); ++i)
+    if (std::isdigit(static_cast<unsigned char>(path[i])) == 0) return -1;
+  return static_cast<std::int64_t>(std::stoll(path.substr(dot + 2)));
+}
+
 }  // namespace
 
 // ---- Simulation ------------------------------------------------------
+
+/// Mutex-guarded cumulative stats block, shared with background commit
+/// tasks (which may outlive a moved-from Simulation, like ckpt_inflight_).
+struct Simulation::ElasticStatsShared {
+  std::mutex mu;
+  ElasticCkptStats s;
+
+  void record(const elastic::GenStats& g) {
+    const std::lock_guard<std::mutex> lk(mu);
+    if (g.kind == elastic::kKindFull) {
+      ++s.full_generations;
+      s.full_file_bytes += g.file_bytes;
+    } else {
+      ++s.delta_generations;
+      s.delta_file_bytes += g.file_bytes;
+    }
+    s.logical_bytes += g.logical_bytes;
+    s.stored_raw_bytes += g.stored_raw_bytes;
+    s.stored_bytes += g.stored_bytes;
+  }
+};
+
+ElasticCkptStats Simulation::elastic_ckpt_stats() const {
+  if (!elastic_stats_) return {};
+  const std::lock_guard<std::mutex> lk(elastic_stats_->mu);
+  return elastic_stats_->s;
+}
 
 std::uint64_t Simulation::config_fingerprint() const {
   ckpt::Fingerprint fp;
@@ -343,15 +455,34 @@ std::uint64_t Simulation::config_fingerprint() const {
 
 std::uint64_t Simulation::checkpoint(const std::string& path) {
   prof::ScopedRegion r("ckpt");
+  const std::int64_t gen =
+      cfg_.checkpoint_incremental ? ring_generation_of(path) : -1;
   ckpt::FileWriter w;
   {
     prof::ScopedRegion enc("ckpt_encode");
-    add_engine_sections(w, fields_, interp_, acc_, species_);
+    add_engine_sections(w, fields_, interp_, acc_, species_, gen >= 0);
     add_history_sections(w, energy_history_);
     add_module_sections(w, modules_);
   }
-  const std::uint64_t bytes = w.commit(path, config_fingerprint(), step_count_);
+  std::uint64_t bytes;
+  if (gen >= 0) {
+    if (!elastic_tracker_)
+      elastic_tracker_ = std::make_shared<elastic::DeltaTracker>(
+          std::max(1, cfg_.checkpoint_full_every));
+    if (!elastic_stats_)
+      elastic_stats_ = std::make_shared<ElasticStatsShared>();
+    const elastic::GenerationPlan plan = elastic_tracker_->plan(
+        w.sections(), gen,
+        static_cast<elastic::Codec>(cfg_.checkpoint_codec));
+    const elastic::GenStats st = elastic::write_generation(
+        path, w.sections(), plan, config_fingerprint(), step_count_);
+    elastic_stats_->record(st);
+    bytes = st.file_bytes;
+  } else {
+    bytes = w.commit(path, config_fingerprint(), step_count_);
+  }
   ++ckpt_written_;
+  for (const auto& m : modules_) m->on_checkpoint(*this);
   return bytes;
 }
 
@@ -364,13 +495,15 @@ void Simulation::checkpoint_async(const std::string& path) {
   if (ckpt_inflight_->load(std::memory_order_acquire) >= 2)
     ckpt_instance_->fence();
 
+  const std::int64_t gen =
+      cfg_.checkpoint_incremental ? ring_generation_of(path) : -1;
   auto w = std::make_shared<ckpt::FileWriter>();
   {
     // This encode IS the snapshot: encode_view deep-copies every payload,
     // so once it returns the writer is independent of the live state and
     // stepping may continue while the file is written behind it.
     prof::ScopedRegion enc("ckpt_encode");
-    add_engine_sections(*w, fields_, interp_, acc_, species_);
+    add_engine_sections(*w, fields_, interp_, acc_, species_, gen >= 0);
     add_history_sections(*w, energy_history_);
     add_module_sections(*w, modules_);
   }
@@ -378,16 +511,43 @@ void Simulation::checkpoint_async(const std::string& path) {
   const std::int64_t step = step_count_;
   ckpt_inflight_->fetch_add(1, std::memory_order_acq_rel);
   auto inflight = ckpt_inflight_;
-  pk::async(*ckpt_instance_, "ckpt_write", [w, path, fp, step, inflight] {
-    // Decrement even when commit throws (the exception is deferred to the
-    // next fence, pk::Instance semantics).
-    struct Done {
-      std::shared_ptr<std::atomic<int>> c;
-      ~Done() { c->fetch_sub(1, std::memory_order_acq_rel); }
-    } done{inflight};
-    w->commit(path, fp, step);
-  });
+  if (gen >= 0) {
+    // Incremental: the plan (hash/diff against the previous generation)
+    // runs NOW, on the stepping thread — it is part of the snapshot and
+    // must observe generations in order. Only the codec + commit work is
+    // hidden behind the background instance.
+    if (!elastic_tracker_)
+      elastic_tracker_ = std::make_shared<elastic::DeltaTracker>(
+          std::max(1, cfg_.checkpoint_full_every));
+    if (!elastic_stats_)
+      elastic_stats_ = std::make_shared<ElasticStatsShared>();
+    auto plan = std::make_shared<const elastic::GenerationPlan>(
+        elastic_tracker_->plan(
+            w->sections(), gen,
+            static_cast<elastic::Codec>(cfg_.checkpoint_codec)));
+    auto stats = elastic_stats_;
+    pk::async(*ckpt_instance_, "ckpt_write",
+              [w, path, fp, step, inflight, plan, stats] {
+                struct Done {
+                  std::shared_ptr<std::atomic<int>> c;
+                  ~Done() { c->fetch_sub(1, std::memory_order_acq_rel); }
+                } done{inflight};
+                stats->record(elastic::write_generation(path, w->sections(),
+                                                        *plan, fp, step));
+              });
+  } else {
+    pk::async(*ckpt_instance_, "ckpt_write", [w, path, fp, step, inflight] {
+      // Decrement even when commit throws (the exception is deferred to
+      // the next fence, pk::Instance semantics).
+      struct Done {
+        std::shared_ptr<std::atomic<int>> c;
+        ~Done() { c->fetch_sub(1, std::memory_order_acq_rel); }
+      } done{inflight};
+      w->commit(path, fp, step);
+    });
+  }
   ++ckpt_written_;
+  for (const auto& m : modules_) m->on_checkpoint(*this);
 }
 
 void Simulation::checkpoint_wait() {
@@ -396,13 +556,28 @@ void Simulation::checkpoint_wait() {
 
 void Simulation::restore(const std::string& path) {
   prof::ScopedRegion r("ckpt_restore");
-  ckpt::FileReader f(path);
-  f.require_fingerprint(config_fingerprint());
-  f.validate_all();
-  read_engine_sections(f, fields_, interp_, acc_, species_);
-  read_history_sections(f, energy_history_);
-  read_module_sections(f, modules_, last_restore_skips_);
-  step_count_ = f.step();
+  const auto apply = [this](ckpt::SectionSource& f) {
+    f.require_fingerprint(config_fingerprint());
+    read_engine_sections(f, fields_, interp_, acc_, species_);
+    read_history_sections(f, energy_history_);
+    read_module_sections(f, modules_, last_restore_skips_);
+    step_count_ = f.step();
+  };
+  if (elastic::ChainReader::is_chain_file(path)) {
+    // Incremental generation: resolving the chain validates every
+    // referenced sibling and hash-checks every payload up front, so the
+    // validate-then-mutate order is preserved.
+    elastic::ChainReader f(path);
+    apply(f);
+  } else {
+    ckpt::FileReader f(path);
+    f.require_fingerprint(config_fingerprint());
+    f.validate_all();
+    apply(f);
+  }
+  // The on-disk chain no longer matches the tracker's hash bookkeeping
+  // (restore may land on any generation): start a fresh chain.
+  if (elastic_tracker_) elastic_tracker_->invalidate();
   // The restored particle arrays replace whatever the tile ranges pointed
   // at: force a re-bucket before the next tiled step (docs/TILES.md).
   tiles_dirty_ = true;
@@ -449,8 +624,14 @@ void Simulation::checkpoint_to_ring() {
   }
   // Prune sees only committed files: an async generation still being
   // written has not been renamed into place yet, and a later prune
-  // catches it.
-  ring.prune();
+  // catches it. In incremental mode keep_last counts whole chains — a
+  // count-based prune could unlink a base out from under its deltas,
+  // leaving retained generations unrestorable (docs/ELASTIC.md).
+  if (cfg_.checkpoint_incremental) {
+    elastic::prune_chains(cfg_.checkpoint_path, cfg_.checkpoint_keep_last);
+  } else {
+    ring.prune();
+  }
   // The stale-.tmp sweep must wait until no async commit is in flight —
   // it would unlink the background writer's "<path>.tmp" mid-write and
   // the rename-commit would fail, silently losing that checkpoint. With
@@ -463,25 +644,40 @@ void Simulation::checkpoint_to_ring() {
 
 // ---- DistributedSimulation -------------------------------------------
 
+namespace {
+
+elastic::DomainPod domain_pod(const DomainConfig& cfg) {
+  elastic::DomainPod d;
+  d.nx = cfg.nx;
+  d.ny = cfg.ny;
+  d.nz = cfg.nz;
+  d.lx = cfg.lx;
+  d.ly = cfg.ly;
+  d.lz = cfg.lz;
+  d.dt = cfg.dt;
+  d.strategy = static_cast<std::uint32_t>(cfg.strategy);
+  d.seed = cfg.seed;
+  d.overlap = cfg.overlap ? 1 : 0;
+  return d;
+}
+
+std::vector<elastic::SpeciesId> species_ids(
+    const std::vector<Species>& species) {
+  std::vector<elastic::SpeciesId> ids;
+  ids.reserve(species.size());
+  for (const Species& sp : species)
+    ids.push_back({sp.name, sp.q, sp.m});
+  return ids;
+}
+
+}  // namespace
+
 std::uint64_t DistributedSimulation::config_fingerprint() const {
-  ckpt::Fingerprint fp;
-  fp.add(cfg_.nx);
-  fp.add(cfg_.ny);
-  fp.add(cfg_.nz);
-  fp.add(cfg_.lx);
-  fp.add(cfg_.ly);
-  fp.add(cfg_.lz);
-  fp.add(cfg_.dt);
-  fp.add(static_cast<std::uint32_t>(cfg_.strategy));
-  fp.add(cfg_.seed);
-  fp.add(static_cast<std::uint8_t>(cfg_.overlap ? 1 : 0));
-  fp.add(comm_.size());
-  for (const auto& sp : species_) {
-    fp.add_string(sp.name);
-    fp.add(sp.q);
-    fp.add(sp.m);
-  }
-  return fp.value();
+  // Shared with elastic::Redecomposer (which recomputes it for a new rank
+  // count from the stored "manifest.domain" pod): one definition, so the
+  // two can never drift apart.
+  return elastic::domain_fingerprint(domain_pod(cfg_), comm_.size(),
+                                     species_ids(species_));
 }
 
 void DistributedSimulation::checkpoint(const std::string& dir) {
@@ -509,6 +705,10 @@ void DistributedSimulation::checkpoint(const std::string& dir) {
     // leaves a manifest-less directory that restore() rejects whole.
     ckpt::FileWriter m;
     m.add_pod("manifest.nranks", static_cast<std::int64_t>(comm_.size()));
+    // The physics-defining domain config rides in the manifest so an
+    // elastic::Redecomposer can rewrite the set for a different rank
+    // count — and recompute the fingerprint — without the deck in hand.
+    m.add_pod("manifest.domain", domain_pod(cfg_));
     m.commit(dir + "/manifest.ckpt", fp, step_count_);
   }
   comm_.barrier();
@@ -550,6 +750,38 @@ void DistributedSimulation::restore(const std::string& dir) {
   current_species_ = static_cast<std::size_t>(meta.current_species);
   step_count_ = f.step();
   comm_.barrier();  // nobody resumes stepping until every rank restored
+}
+
+std::string DistributedSimulation::restore_rescaled(const std::string& dir) {
+  prof::ScopedRegion r("ckpt_rescale");
+  ckpt::FileReader manifest(dir + "/manifest.ckpt");
+  const auto nranks = manifest.pod<std::int64_t>("manifest.nranks");
+  if (nranks == comm_.size()) {
+    restore(dir);
+    return dir;
+  }
+  // Shape mismatch: rank 0 rewrites the set into a sibling directory
+  // named for the target shape, everyone else waits on the broadcast
+  // below (minimpi bcast barriers), then all restore the rewritten set
+  // through the completely unchanged validation path.
+  const std::string scaled =
+      dir + ".rescale" + std::to_string(comm_.size());
+  std::string error;
+  if (comm_.rank() == 0) {
+    try {
+      elastic::Redecomposer::run(dir, scaled, comm_.size());
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+  }
+  comm_.bcast(error, 0);
+  if (!error.empty())
+    throw ckpt::RestoreError(ckpt::RestoreErrorKind::ManifestMismatch,
+                             "rescale " + std::to_string(nranks) + " -> " +
+                                 std::to_string(comm_.size()) +
+                                 " ranks failed: " + error);
+  restore(scaled);
+  return scaled;
 }
 
 }  // namespace vpic::core

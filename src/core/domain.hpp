@@ -115,6 +115,18 @@ class DistributedSimulation {
   /// throws ckpt::RestoreError on any mismatch or corruption.
   void restore(const std::string& dir);
 
+  /// Elastic restore (docs/ELASTIC.md): restore from `dir` regardless of
+  /// the rank count that wrote it. A matching shape restores in place; a
+  /// k-rank checkpoint on an m-rank communicator is first rewritten by
+  /// rank 0 (elastic::Redecomposer) into "<dir>.rescale<m>" and every
+  /// rank restores from there — per-voxel interior state and
+  /// canonically-ordered particles bit-identical to a same-rank restore.
+  /// Requires comm size to divide the global nz and a checkpoint written
+  /// with a "manifest.domain" section. Returns the directory actually
+  /// restored from; throws ckpt::RestoreError (collectively — every rank
+  /// throws) on failure.
+  std::string restore_rescaled(const std::string& dir);
+
   /// Fingerprint of the physics-defining configuration (DomainConfig,
   /// rank count, species identities); per-rank and manifest files share
   /// it, so a restore against the wrong deck or rank layout is typed.

@@ -119,10 +119,13 @@ class ModuleStateWriter {
   std::string prefix_;
 };
 
-/// Prefix-scoped reader mirroring ModuleStateWriter.
+/// Prefix-scoped reader mirroring ModuleStateWriter. Wraps the abstract
+/// ckpt::SectionSource, so module state restores identically from a plain
+/// checkpoint file and from a resolved elastic generation chain
+/// (docs/ELASTIC.md).
 class ModuleStateReader {
  public:
-  ModuleStateReader(ckpt::FileReader& f, std::string prefix)
+  ModuleStateReader(ckpt::SectionSource& f, std::string prefix)
       : f_(f), prefix_(std::move(prefix)) {}
 
   [[nodiscard]] bool has(std::string_view name) const {
@@ -141,7 +144,7 @@ class ModuleStateReader {
   }
 
  private:
-  ckpt::FileReader& f_;
+  ckpt::SectionSource& f_;
   std::string prefix_;
 };
 
@@ -194,6 +197,13 @@ class PhysicsModule {
   /// The restored file predates this module (no sections for it): reset
   /// to the attach-time state so restore is a complete overwrite.
   virtual void clear_state() {}
+
+  /// Called right after every checkpoint is taken (sync and async alike,
+  /// after the snapshot encode — the module's state is already captured).
+  /// Durability hook for module-owned side outputs: the tracer module
+  /// flushes its trajectory CSV here so external files never lag the
+  /// checkpoint they would be replayed against.
+  virtual void on_checkpoint(Simulation&) {}
 };
 
 /// The surface modules plan phases against. Wraps the step's StepGraph

@@ -35,6 +35,13 @@
 #include "pk/stealing.hpp"
 #include "prof/prof.hpp"
 
+namespace vpic::elastic {
+// Incremental-checkpoint planner (src/elastic/delta.hpp). Forward-declared:
+// core drives it only from core/checkpoint.cpp; the shared_ptr member
+// type-erases the deleter so the header needs no elastic include.
+class DeltaTracker;
+}  // namespace vpic::elastic
+
 namespace vpic::tune {
 // Startup autotuning hook (src/tune/tune.hpp). Forward-declared so core —
 // which the tune library links against — can trigger it without an include
@@ -141,9 +148,40 @@ struct SimulationConfig {
   std::string checkpoint_path;
   int checkpoint_keep_last = 3;
   bool checkpoint_async = false;
+  // Incremental delta-compressed generations (docs/ELASTIC.md): ring
+  // generations become VPICELA1 chains — a full base every
+  // `checkpoint_full_every` generations, then deltas storing only the
+  // sections whose payload hash changed (particles tracked per tile-sized
+  // chunk), with `checkpoint_codec` (elastic::Codec: 0 none, 1 DeltaPack)
+  // losslessly packing stored payloads. With incremental on, keep_last
+  // counts whole chains, so every retained recovery point stays complete.
+  bool checkpoint_incremental = false;
+  int checkpoint_full_every = 8;
+  std::uint8_t checkpoint_codec = 1;
+  // Stream TracerModule trajectory rings to this CSV file, flushed on
+  // every checkpoint and at module destruction; empty disables
+  // (docs/MODULES.md, "Tracers").
+  std::string tracer_csv_path;
   // Tile-level task decomposition (docs/TILES.md). When enabled, step()
   // takes the tiled path regardless of `scheduler`.
   TileConfig tiles;
+};
+
+/// Cumulative incremental-checkpoint telemetry (docs/ELASTIC.md),
+/// accumulated per committed generation. `logical_bytes` is what a full
+/// snapshot of each generation would have held; `stored_raw_bytes` the
+/// raw size of the sections actually stored (the dirty set); and
+/// `stored_bytes` the post-codec bytes written — so
+/// logical/stored_raw is the incremental ratio and stored_raw/stored the
+/// codec ratio.
+struct ElasticCkptStats {
+  std::int64_t full_generations = 0;
+  std::int64_t delta_generations = 0;
+  std::uint64_t full_file_bytes = 0;
+  std::uint64_t delta_file_bytes = 0;
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t stored_raw_bytes = 0;
+  std::uint64_t stored_bytes = 0;
 };
 
 /// Telemetry of the most recent tiled step (docs/TILES.md).
@@ -389,6 +427,12 @@ class Simulation {
     return ckpt_written_;
   }
 
+  /// Cumulative incremental-checkpoint telemetry; all-zero until the
+  /// first incremental generation commits. Async generations count once
+  /// their background commit finishes — call checkpoint_wait() first for
+  /// an exact snapshot.
+  [[nodiscard]] ElasticCkptStats elastic_ckpt_stats() const;
+
  private:
   // Grants the built-in pipeline modules (core/pipeline_modules.cpp)
   // access to the engine state their phase bodies drive; external modules
@@ -465,6 +509,14 @@ class Simulation {
   // incremented.
   std::int64_t ckpt_next_gen_ = -1;
   std::string ckpt_ring_base_;
+  // Incremental-checkpoint state (docs/ELASTIC.md), created lazily on the
+  // first incremental checkpoint. Both are shared_ptrs because async
+  // commit tasks outlive a moved-from Simulation (like ckpt_inflight_):
+  // the tracker plans synchronously on the stepping thread, the
+  // mutex-guarded stats block is updated by background commits.
+  std::shared_ptr<elastic::DeltaTracker> elastic_tracker_;
+  struct ElasticStatsShared;
+  std::shared_ptr<ElasticStatsShared> elastic_stats_;
 };
 
 }  // namespace vpic::core

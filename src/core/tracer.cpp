@@ -3,6 +3,8 @@
 #include "core/tracer.hpp"
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 
 #include "core/interpolator.hpp"
 #include "core/simulation.hpp"
@@ -150,6 +152,9 @@ void TracerModule::run(Simulation& sim, std::int64_t next_step) {
 
 void TracerModule::plan(Simulation& sim, const ModuleStepContext& ctx,
                         StepComposer& c) {
+  // Cache the sink path so the destructor flush works even when no
+  // checkpoint ever fires.
+  csv_path_ = sim.config().tracer_csv_path;
   if (prm_.species >= sim.num_species()) return;
   const Species& sp = sim.species(prm_.species);
   std::vector<std::string> rd{"interp"};
@@ -191,6 +196,35 @@ std::vector<TracerSample> TracerModule::trajectory() const {
   return out;
 }
 
+void TracerModule::on_checkpoint(Simulation& sim) {
+  csv_path_ = sim.config().tracer_csv_path;
+  flush_csv();
+}
+
+void TracerModule::flush_csv() {
+  if (csv_path_.empty() || csv_written_ >= total_) return;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(csv_path_, ec);
+  const bool need_header = ec || size == 0;
+  std::ofstream os(csv_path_, std::ios::app);
+  if (!os) return;  // sink trouble must not fail the checkpoint
+  if (need_header) os << "step,id,voxel,dx,dy,dz,ux,uy,uz\n";
+  os.precision(9);  // round-trips float exactly
+  const auto traj = trajectory();
+  // Unflushed tail of the ring; samples evicted before this flush are
+  // gone from the CSV too (ring_capacity bounds the gap).
+  std::uint64_t fresh = total_ - csv_written_;
+  if (fresh > traj.size()) fresh = traj.size();
+  for (std::size_t k = traj.size() - static_cast<std::size_t>(fresh);
+       k < traj.size(); ++k) {
+    const TracerSample& s = traj[k];
+    os << s.step << ',' << s.id << ',' << s.voxel << ',' << s.dx << ','
+       << s.dy << ',' << s.dz << ',' << s.ux << ',' << s.uy << ',' << s.uz
+       << '\n';
+  }
+  csv_written_ = total_;
+}
+
 void TracerModule::save_state(ModuleStateWriter& w) const {
   const std::uint8_t seeded = seeded_ ? 1 : 0;
   w.add_pod("seeded", seeded);
@@ -207,6 +241,10 @@ void TracerModule::load_state(ModuleStateReader& r,
   total_ = r.pod<std::uint64_t>("total");
   tracers_ = r.vector<TracerParticle>("particles");
   ring_ = r.vector<TracerSample>("ring");
+  // Everything up to the checkpoint was flushed when it was taken
+  // (on_checkpoint runs before commit returns); only post-restore samples
+  // are new for the CSV.
+  csv_written_ = total_;
 }
 
 void TracerModule::clear_state() {
@@ -215,6 +253,7 @@ void TracerModule::clear_state() {
   ring_.clear();
   ring_head_ = 0;
   total_ = 0;
+  csv_written_ = 0;
 }
 
 }  // namespace vpic::core

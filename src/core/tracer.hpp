@@ -14,9 +14,19 @@
 // across the untiled/tiled execution shapes (the module plans a single
 // phase ordered after the interpolator load). State (tracer particles,
 // ring, counters) round-trips through the module checkpoint sections.
+//
+// CSV sink: when SimulationConfig::tracer_csv_path is set, new trajectory
+// samples stream to that file — appended on every checkpoint (the
+// PhysicsModule::on_checkpoint hook, so the CSV is exactly as durable as
+// the checkpoint it rides with) and on module destruction. A watermark
+// tracks what has been written; samples evicted from the ring before a
+// flush are lost from the CSV too (size the ring to cover the checkpoint
+// interval). After a restore the watermark resumes at the restored sample
+// count: everything up to the checkpoint was flushed when it was taken.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/module.hpp"
@@ -49,11 +59,13 @@ struct TracerParticle {
 class TracerModule final : public PhysicsModule {
  public:
   explicit TracerModule(TracerParams prm = {}) : prm_(prm) {}
+  ~TracerModule() override { flush_csv(); }
 
   [[nodiscard]] std::string_view id() const override { return "tracer"; }
   [[nodiscard]] StepStage stage() const override { return StepStage::Push; }
   void plan(Simulation& sim, const ModuleStepContext& ctx,
             StepComposer& c) override;
+  void on_checkpoint(Simulation& sim) override;
 
   [[nodiscard]] bool has_state() const override { return true; }
   [[nodiscard]] std::uint32_t state_version() const override { return 1; }
@@ -68,9 +80,13 @@ class TracerModule final : public PhysicsModule {
   /// Retained samples, oldest first.
   [[nodiscard]] std::vector<TracerSample> trajectory() const;
   [[nodiscard]] std::uint64_t samples_recorded() const { return total_; }
+  /// Samples already streamed to the CSV sink (the flush watermark).
+  [[nodiscard]] std::uint64_t samples_flushed() const { return csv_written_; }
 
  private:
   void run(Simulation& sim, std::int64_t next_step);
+  /// Append unflushed samples to csv_path_ (no-op when unset/clean).
+  void flush_csv();
 
   TracerParams prm_;
   bool seeded_ = false;
@@ -78,6 +94,8 @@ class TracerModule final : public PhysicsModule {
   std::vector<TracerSample> ring_;
   std::size_t ring_head_ = 0;  // next overwrite position once full
   std::uint64_t total_ = 0;    // samples ever recorded
+  std::string csv_path_;       // cached SimulationConfig::tracer_csv_path
+  std::uint64_t csv_written_ = 0;  // samples flushed to the CSV so far
 };
 
 }  // namespace vpic::core

@@ -1,0 +1,116 @@
+// elastic/codec.cpp — DeltaPack encode/decode (see codec.hpp).
+//
+// Stream layout, per 4-byte record field f in [0, elem_size/4):
+//
+//   control block: ceil(nrec / 4) bytes, 2 bits per record in record
+//                  order (bit pair k of byte k/4), code -> stored width:
+//                  0 -> 0 bytes (XOR == 0), 1 -> 1, 2 -> 2, 3 -> 4
+//   data block:    the low `width` bytes of each nonzero-width XOR word,
+//                  little-endian, concatenated in record order
+//
+// Blocks for field f+1 follow immediately after field f's data block.
+// The decoder recomputes every block size from the control bits, so the
+// stream needs no explicit lengths beyond (raw_bytes, elem_size) which
+// the chain manifest records.
+
+#include "elastic/codec.hpp"
+
+#include <cstring>
+
+namespace vpic::elastic {
+
+const char* to_string(Codec c) noexcept {
+  switch (c) {
+    case Codec::None:
+      return "none";
+    case Codec::DeltaPack:
+      return "deltapack";
+  }
+  return "?";
+}
+
+namespace {
+
+inline std::uint32_t load_u32(const std::byte* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline void store_u32(std::byte* p, std::uint32_t v) noexcept {
+  std::memcpy(p, &v, 4);
+}
+
+inline unsigned width_code(std::uint32_t x) noexcept {
+  if (x == 0) return 0;
+  if (x <= 0xFFu) return 1;
+  if (x <= 0xFFFFu) return 2;
+  return 3;
+}
+
+constexpr unsigned kCodeBytes[4] = {0, 1, 2, 4};
+
+}  // namespace
+
+std::vector<std::byte> deltapack_encode(const std::byte* data, std::size_t n,
+                                        std::uint32_t elem_size) {
+  if (n == 0 || elem_size == 0 || elem_size % 4 != 0 || n % elem_size != 0)
+    return {};
+  const std::size_t nrec = n / elem_size;
+  const std::size_t nfields = elem_size / 4;
+  const std::size_t ctrl_bytes = (nrec + 3) / 4;
+
+  std::vector<std::byte> out;
+  out.reserve(n / 2);
+  for (std::size_t f = 0; f < nfields; ++f) {
+    const std::size_t ctrl_at = out.size();
+    out.resize(ctrl_at + ctrl_bytes, std::byte{0});
+    std::uint32_t prev = 0;
+    for (std::size_t r = 0; r < nrec; ++r) {
+      const std::uint32_t v = load_u32(data + r * elem_size + f * 4);
+      const std::uint32_t x = v ^ prev;
+      prev = v;
+      const unsigned code = width_code(x);
+      out[ctrl_at + r / 4] |=
+          static_cast<std::byte>(code << (2 * (r % 4)));
+      const unsigned w = kCodeBytes[code];
+      for (unsigned b = 0; b < w; ++b)
+        out.push_back(static_cast<std::byte>((x >> (8 * b)) & 0xFFu));
+    }
+  }
+  return out;
+}
+
+bool deltapack_decode(const std::byte* src, std::size_t src_bytes,
+                      std::byte* dst, std::size_t raw_bytes,
+                      std::uint32_t elem_size) {
+  if (raw_bytes == 0 || elem_size == 0 || elem_size % 4 != 0 ||
+      raw_bytes % elem_size != 0)
+    return false;
+  const std::size_t nrec = raw_bytes / elem_size;
+  const std::size_t nfields = elem_size / 4;
+  const std::size_t ctrl_bytes = (nrec + 3) / 4;
+
+  std::size_t at = 0;
+  for (std::size_t f = 0; f < nfields; ++f) {
+    if (at + ctrl_bytes > src_bytes) return false;
+    const std::byte* ctrl = src + at;
+    at += ctrl_bytes;
+    std::uint32_t prev = 0;
+    for (std::size_t r = 0; r < nrec; ++r) {
+      const unsigned code =
+          (static_cast<unsigned>(ctrl[r / 4]) >> (2 * (r % 4))) & 0x3u;
+      const unsigned w = kCodeBytes[code];
+      if (at + w > src_bytes) return false;
+      std::uint32_t x = 0;
+      for (unsigned b = 0; b < w; ++b)
+        x |= static_cast<std::uint32_t>(src[at + b]) << (8 * b);
+      at += w;
+      prev ^= x;
+      store_u32(dst + r * elem_size + f * 4, prev);
+    }
+  }
+  return at == src_bytes;  // trailing garbage is corruption, not slack
+}
+
+}  // namespace vpic::elastic

@@ -1,0 +1,59 @@
+// elastic/codec.hpp
+//
+// Lossless streaming codec for checkpoint particle payloads
+// (docs/ELASTIC.md). The canonical on-disk particle record is the 32-byte
+// packed AoS Particle (dx, dy, dz, i, ux, uy, uz, w); DeltaPack exploits
+// its redundancy without ever rounding a bit:
+//
+//   * the payload is transposed into one stream per 4-byte record field
+//     (positions, voxel index, momenta, weight), so values with the same
+//     statistics are adjacent,
+//   * each stream is XOR-delta coded against its previous value — cell
+//     offsets are already cell-base-relative (VPIC keeps dx,dy,dz in
+//     [-1,1], i.e. delta-encoded against the cell base coordinate by
+//     construction), so neighboring particles share sign/exponent bytes;
+//     sorted voxel indices differ by small integers; uniform weights XOR
+//     to exactly zero,
+//   * every XOR word is stored in its minimal byte width (0, 1, 2 or 4
+//     low-order bytes) selected by a 2-bit control code packed into a
+//     separate control stream.
+//
+// Decoding reverses the three steps exactly: the round trip is
+// bit-identical for every input (asserted by tests/test_elastic.cpp),
+// which is what lets the incremental checkpoint path compress particle
+// sections while keeping the bit-identical-restore guarantee of
+// docs/CHECKPOINT.md. Encoders never lose data on hostile input either:
+// callers fall back to the raw payload when the packed stream is not
+// smaller (elastic::write_generation does this per section).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vpic::elastic {
+
+/// Per-section codec tag recorded in the chain manifest (delta.hpp).
+enum class Codec : std::uint8_t {
+  None = 0,      // payload stored verbatim
+  DeltaPack = 1, // field-transposed XOR-delta byte packing (this header)
+};
+
+const char* to_string(Codec c) noexcept;
+
+/// Encode `n` bytes of `elem_size`-byte records. `elem_size` must be a
+/// non-zero multiple of 4 and must divide `n`; otherwise (and for n == 0)
+/// the encoder returns an empty vector, which callers treat as "store
+/// raw". The output is self-delimiting given (n, elem_size).
+std::vector<std::byte> deltapack_encode(const std::byte* data, std::size_t n,
+                                        std::uint32_t elem_size);
+
+/// Decode a deltapack stream back into exactly `raw_bytes` bytes at
+/// `dst`. Returns false (without touching `dst` past the failure point)
+/// when the stream is malformed or disagrees with (raw_bytes, elem_size):
+/// a corrupt stream is a typed restore failure, never UB.
+bool deltapack_decode(const std::byte* src, std::size_t src_bytes,
+                      std::byte* dst, std::size_t raw_bytes,
+                      std::uint32_t elem_size);
+
+}  // namespace vpic::elastic

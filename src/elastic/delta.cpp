@@ -1,0 +1,457 @@
+// elastic/delta.cpp — VPICELA1 chain planning, commit and resolution
+// (see delta.hpp, docs/ELASTIC.md).
+
+#include "elastic/delta.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "ckpt/ring.hpp"
+
+namespace vpic::elastic {
+
+using ckpt::EncodedSection;
+using ckpt::RestoreError;
+using ckpt::RestoreErrorKind;
+
+std::uint64_t payload_hash(const void* data, std::size_t n) noexcept {
+  ckpt::Fingerprint h;
+  h.add_bytes(data, n);
+  return h.value();
+}
+
+// ---------------------------------------------------------------------------
+// Manifest (de)serialization. Fixed little-endian-as-memcpy layout per
+// entry after a u32 count:
+//   u16 name_len, name bytes, i64 src_gen, u8 codec, u8 layout,
+//   u32 elem_size, u32 rank, i64 extents[4], u64 raw_bytes, u64 hash
+
+namespace {
+
+template <class Pod>
+void put(std::vector<std::byte>& out, const Pod& v) {
+  static_assert(std::is_trivially_copyable_v<Pod>);
+  const auto at = out.size();
+  out.resize(at + sizeof(Pod));
+  std::memcpy(out.data() + at, &v, sizeof(Pod));
+}
+
+template <class Pod>
+Pod get(const std::byte* data, std::size_t n, std::size_t& at) {
+  static_assert(std::is_trivially_copyable_v<Pod>);
+  if (at + sizeof(Pod) > n)
+    throw RestoreError(RestoreErrorKind::SectionCorrupt,
+                       "'ela.manifest' is truncated");
+  Pod v;
+  std::memcpy(&v, data + at, sizeof(Pod));
+  at += sizeof(Pod);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize_manifest(
+    const std::vector<ManifestEntry>& entries) {
+  std::vector<std::byte> out;
+  put(out, static_cast<std::uint32_t>(entries.size()));
+  for (const ManifestEntry& e : entries) {
+    put(out, static_cast<std::uint16_t>(e.name.size()));
+    const auto at = out.size();
+    out.resize(at + e.name.size());
+    if (!e.name.empty()) std::memcpy(out.data() + at, e.name.data(), e.name.size());
+    put(out, e.src_gen);
+    put(out, static_cast<std::uint8_t>(e.codec));
+    put(out, e.layout);
+    put(out, e.elem_size);
+    put(out, e.rank);
+    for (std::int64_t x : e.extents) put(out, x);
+    put(out, e.raw_bytes);
+    put(out, e.hash);
+  }
+  return out;
+}
+
+std::vector<ManifestEntry> parse_manifest(const std::byte* data,
+                                          std::size_t n) {
+  std::size_t at = 0;
+  const auto count = get<std::uint32_t>(data, n, at);
+  std::vector<ManifestEntry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ManifestEntry e;
+    const auto len = get<std::uint16_t>(data, n, at);
+    if (at + len > n)
+      throw RestoreError(RestoreErrorKind::SectionCorrupt,
+                         "'ela.manifest' is truncated");
+    e.name.assign(reinterpret_cast<const char*>(data + at), len);
+    at += len;
+    e.src_gen = get<std::int64_t>(data, n, at);
+    e.codec = static_cast<Codec>(get<std::uint8_t>(data, n, at));
+    e.layout = get<std::uint8_t>(data, n, at);
+    e.elem_size = get<std::uint32_t>(data, n, at);
+    e.rank = get<std::uint32_t>(data, n, at);
+    for (std::int64_t& x : e.extents) x = get<std::int64_t>(data, n, at);
+    e.raw_bytes = get<std::uint64_t>(data, n, at);
+    e.hash = get<std::uint64_t>(data, n, at);
+    entries.push_back(std::move(e));
+  }
+  if (at != n)
+    throw RestoreError(RestoreErrorKind::SectionCorrupt,
+                       "'ela.manifest' has trailing bytes");
+  return entries;
+}
+
+std::string sibling_generation_path(const std::string& path,
+                                    std::int64_t gen) {
+  // Ring naming is "<base>.g<digits>" (ckpt/ring.hpp): strip the suffix.
+  const auto dot = path.rfind(".g");
+  bool ok = dot != std::string::npos && dot + 2 < path.size();
+  if (ok)
+    for (std::size_t i = dot + 2; i < path.size(); ++i)
+      ok = ok && std::isdigit(static_cast<unsigned char>(path[i])) != 0;
+  if (!ok)
+    throw RestoreError(RestoreErrorKind::ManifestMismatch,
+                       "'" + path +
+                           "' is not a generation-ring file; delta chains "
+                           "require '<base>.g<N>' naming");
+  return path.substr(0, dot) + ".g" + std::to_string(gen);
+}
+
+// ---------------------------------------------------------------------------
+// DeltaTracker
+
+GenerationPlan DeltaTracker::plan(const std::vector<EncodedSection>& sections,
+                                  std::int64_t generation, Codec codec) {
+  const bool full = base_ < 0 || full_every_ <= 1 ||
+                    static_cast<int>(chain_seq_) + 1 >= full_every_;
+
+  GenerationPlan p;
+  p.generation = generation;
+  p.kind = full ? kKindFull : kKindDelta;
+  p.codec = codec;
+  p.parent = full ? -1 : last_;
+  p.base = full ? generation : base_;
+  p.chain_seq = full ? 0 : chain_seq_ + 1;
+  p.entries.reserve(sections.size());
+
+  for (std::uint32_t i = 0; i < sections.size(); ++i) {
+    const EncodedSection& s = sections[i];
+    ManifestEntry e;
+    e.name = s.name;
+    e.src_gen = generation;
+    e.codec = codec;
+    e.layout = static_cast<std::uint8_t>(s.layout);
+    e.elem_size = s.elem_size;
+    e.rank = s.rank;
+    e.extents = s.extents;
+    e.raw_bytes = s.payload.size();
+    e.hash = payload_hash(s.payload.data(), s.payload.size());
+
+    bool store = true;
+    if (!full) {
+      const auto it = prev_.find(s.name);
+      if (it != prev_.end() && it->second.hash == e.hash &&
+          it->second.raw_bytes == e.raw_bytes &&
+          it->second.elem_size == e.elem_size &&
+          it->second.rank == e.rank && it->second.layout == e.layout &&
+          it->second.extents == e.extents) {
+        store = false;
+        e.src_gen = it->second.src_gen;
+        e.codec = Codec::None;  // storing file's manifest is authoritative
+      }
+    }
+    if (store) p.store.push_back(i);
+    p.entries.push_back(std::move(e));
+  }
+
+  // Commit the bookkeeping now: plans are taken in generation order and a
+  // later failed commit is handled by invalidate() (next plan goes full).
+  base_ = p.base;
+  last_ = generation;
+  chain_seq_ = p.chain_seq;
+  prev_.clear();
+  for (const ManifestEntry& e : p.entries) {
+    Prev v;
+    v.hash = e.hash;
+    v.src_gen = e.src_gen;
+    v.layout = e.layout;
+    v.elem_size = e.elem_size;
+    v.rank = e.rank;
+    v.extents = e.extents;
+    v.raw_bytes = e.raw_bytes;
+    prev_[e.name] = v;
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// write_generation
+
+GenStats write_generation(const std::string& path,
+                          const std::vector<EncodedSection>& sections,
+                          const GenerationPlan& plan,
+                          std::uint64_t fingerprint, std::int64_t step) {
+  GenStats st;
+  st.kind = plan.kind;
+  st.sections_total = static_cast<std::uint32_t>(sections.size());
+  for (const EncodedSection& s : sections)
+    st.logical_bytes += s.payload.size();
+
+  // The manifest must record the codec each stored section actually ended
+  // up with after the per-section raw fallback, so patch a copy.
+  std::vector<ManifestEntry> entries = plan.entries;
+
+  ckpt::FileWriter w;
+  for (std::uint32_t i : plan.store) {
+    const EncodedSection& s = sections[i];
+    ManifestEntry& e = entries[i];
+    st.sections_stored++;
+    st.stored_raw_bytes += s.payload.size();
+
+    std::vector<std::byte> packed;
+    if (plan.codec == Codec::DeltaPack && s.elem_size != 0 &&
+        s.elem_size % 4 == 0 && s.payload.size() >= 64)
+      packed = deltapack_encode(s.payload.data(), s.payload.size(),
+                                s.elem_size);
+
+    if (!packed.empty() && packed.size() < s.payload.size()) {
+      e.codec = Codec::DeltaPack;
+      st.stored_bytes += packed.size();
+      // Packed payloads lose their logical shape on disk; the manifest
+      // entry carries it for the decoder.
+      EncodedSection ps;
+      ps.name = s.name;
+      ps.elem_size = 1;
+      ps.rank = 1;
+      ps.extents[0] = static_cast<std::int64_t>(packed.size());
+      ps.layout = s.layout;
+      ps.payload = std::move(packed);
+      w.add(std::move(ps));
+    } else {
+      e.codec = Codec::None;
+      st.stored_bytes += s.payload.size();
+      w.add(s);  // copies; `sections` may be shared with another commit
+    }
+  }
+
+  ElaMeta meta;
+  meta.kind = plan.kind;
+  meta.codec = static_cast<std::uint32_t>(plan.codec);
+  meta.generation = plan.generation;
+  meta.parent = plan.parent;
+  meta.base = plan.base;
+  meta.chain_seq = plan.chain_seq;
+  w.add_pod(kMetaSection, meta);
+
+  const std::vector<std::byte> blob = serialize_manifest(entries);
+  w.add_bytes(kManifestSection, blob.data(), blob.size());
+
+  st.file_bytes = w.commit(path, fingerprint, step);
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// ChainReader
+
+bool ChainReader::is_chain_file(const std::string& path) noexcept {
+  try {
+    ckpt::FileReader f(path);
+    return f.has(kMetaSection);
+  } catch (...) {
+    return false;
+  }
+}
+
+ChainReader::ChainReader(const std::string& path) {
+  ckpt::FileReader target(path);
+  fingerprint_ = target.fingerprint();
+  step_ = target.step();
+
+  meta_ = target.pod<ElaMeta>(std::string(kMetaSection));
+  if (meta_.magic != kElaMagic)
+    throw RestoreError(RestoreErrorKind::SectionCorrupt,
+                       "'" + path + "' has a bad ela.meta magic");
+
+  const EncodedSection& ms = target.section(kManifestSection);
+  const std::vector<ManifestEntry> manifest =
+      parse_manifest(ms.payload.data(), ms.payload.size());
+
+  // Group logical sections by the generation that physically stores them,
+  // so each sibling file is opened and validated once.
+  std::map<std::int64_t, std::vector<const ManifestEntry*>> by_gen;
+  for (const ManifestEntry& e : manifest) by_gen[e.src_gen].push_back(&e);
+
+  for (auto& [gen, wanted] : by_gen) {
+    ckpt::FileReader* src = nullptr;
+    std::unique_ptr<ckpt::FileReader> sibling;
+    if (gen == meta_.generation) {
+      src = &target;
+    } else {
+      sibling = std::make_unique<ckpt::FileReader>(
+          sibling_generation_path(path, gen));
+      if (sibling->fingerprint() != fingerprint_)
+        throw RestoreError(
+            RestoreErrorKind::FingerprintMismatch,
+            "chain generation " + std::to_string(gen) +
+                " was written by a different deck/config than '" + path +
+                "'");
+      src = sibling.get();
+    }
+    sources_.push_back(gen);
+
+    // How each section is stored in `src` is recorded in src's OWN
+    // manifest (codec + raw fallback are decided at its commit).
+    const EncodedSection& sms = src->section(kManifestSection);
+    std::map<std::string, const ManifestEntry*, std::less<>> stored;
+    const std::vector<ManifestEntry> src_manifest =
+        parse_manifest(sms.payload.data(), sms.payload.size());
+    for (const ManifestEntry& e : src_manifest)
+      if (e.src_gen == gen) stored[e.name] = &e;
+
+    for (const ManifestEntry* e : wanted) {
+      const auto sit = stored.find(e->name);
+      if (sit == stored.end())
+        throw RestoreError(RestoreErrorKind::MissingSection,
+                           "chain generation " + std::to_string(gen) +
+                               " does not store section '" + e->name + "'");
+      const ManifestEntry& how = *sit->second;
+      const EncodedSection& raw = src->section(e->name);
+
+      EncodedSection out;
+      out.name = e->name;
+      out.elem_size = e->elem_size;
+      out.rank = e->rank;
+      out.extents = e->extents;
+      out.layout = e->layout;
+      if (how.codec == Codec::None) {
+        out.payload = raw.payload;
+      } else if (how.codec == Codec::DeltaPack) {
+        out.payload.resize(how.raw_bytes);
+        if (!deltapack_decode(raw.payload.data(), raw.payload.size(),
+                              out.payload.data(), how.raw_bytes,
+                              how.elem_size))
+          throw RestoreError(RestoreErrorKind::SectionCorrupt,
+                             "section '" + e->name + "' in generation " +
+                                 std::to_string(gen) +
+                                 " fails deltapack decode");
+      } else {
+        throw RestoreError(RestoreErrorKind::SectionCorrupt,
+                           "section '" + e->name + "' uses unknown codec " +
+                               std::to_string(static_cast<int>(how.codec)));
+      }
+
+      // The restore target's manifest hash is the end-to-end integrity
+      // check: a silently stale or cross-linked sibling payload cannot
+      // slip through even with a valid per-file CRC.
+      if (payload_hash(out.payload.data(), out.payload.size()) != e->hash ||
+          out.payload.size() != e->raw_bytes)
+        throw RestoreError(RestoreErrorKind::SectionCorrupt,
+                           "section '" + e->name + "' resolved from " +
+                               std::to_string(gen) +
+                               " does not match the chain manifest hash");
+      resolved_[out.name] = std::move(out);
+    }
+  }
+
+  reassemble_particles();
+}
+
+std::vector<std::string> ChainReader::section_names() const {
+  std::vector<std::string> names;
+  names.reserve(resolved_.size());
+  for (const auto& [name, s] : resolved_) names.push_back(name);
+  return names;
+}
+
+const EncodedSection& ChainReader::section(std::string_view name) {
+  const auto it = resolved_.find(name);
+  if (it == resolved_.end())
+    throw RestoreError(RestoreErrorKind::MissingSection,
+                       "chain has no section '" + std::string(name) + "'");
+  return it->second;
+}
+
+void ChainReader::reassemble_particles() {
+  // Incremental snapshots store particles as fixed-range chunks
+  // ("sp<i>.c<k>.p" + "sp<i>.nchunks") so a delta only carries the tiles
+  // whose payload hash moved. Core's restore reads the canonical
+  // "sp<i>.p"; synthesize it by concatenating chunks in k order.
+  if (!has("nspecies")) return;
+  const auto nspecies = pod<std::uint64_t>("nspecies");
+  for (std::uint64_t i = 0; i < nspecies; ++i) {
+    const std::string prefix = "sp" + std::to_string(i) + ".";
+    if (!has(prefix + "nchunks")) continue;
+    const auto nchunks = pod<std::uint64_t>(prefix + "nchunks");
+
+    EncodedSection whole;
+    whole.name = prefix + "p";
+    whole.rank = 1;
+    whole.layout = ckpt::kLayoutRight;
+    std::int64_t total = 0;
+    for (std::uint64_t k = 0; k < nchunks; ++k) {
+      const EncodedSection& c =
+          section(prefix + "c" + std::to_string(k) + ".p");
+      if (k == 0) whole.elem_size = c.elem_size;
+      if (c.elem_size != whole.elem_size)
+        throw RestoreError(RestoreErrorKind::ShapeMismatch,
+                           "particle chunks of '" + prefix +
+                               "p' disagree on element size");
+      whole.payload.insert(whole.payload.end(), c.payload.begin(),
+                           c.payload.end());
+      total += c.extents[0];
+    }
+    if (whole.elem_size == 0) whole.elem_size = 1;
+    whole.extents[0] = total;
+    if (whole.payload.size() !=
+        static_cast<std::size_t>(total) * whole.elem_size)
+      throw RestoreError(RestoreErrorKind::ShapeMismatch,
+                         "particle chunks of '" + prefix +
+                             "p' do not add up to their extents");
+    resolved_[whole.name] = std::move(whole);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// prune_chains
+
+std::size_t prune_chains(const std::string& ring_base, int keep_chains) {
+  if (keep_chains < 1) keep_chains = 1;
+  ckpt::GenerationRing ring(ring_base, keep_chains);
+  const std::vector<std::uint64_t> gens = ring.generations();
+
+  // Chain id of a generation = its base generation (ela.meta); a plain
+  // checkpoint or an unreadable file is its own single-generation chain,
+  // so broken junk still ages out.
+  std::map<std::int64_t, std::vector<std::uint64_t>> chains;
+  for (std::uint64_t g : gens) {
+    std::int64_t chain = static_cast<std::int64_t>(g);
+    try {
+      ckpt::FileReader f(ring.path_for(g));
+      if (f.has(kMetaSection)) {
+        const auto meta = f.pod<ElaMeta>(std::string(kMetaSection));
+        if (meta.magic == kElaMagic) chain = meta.base;
+      }
+    } catch (...) {
+      // unreadable: leave it as its own chain
+    }
+    chains[chain].push_back(g);
+  }
+
+  if (chains.size() <= static_cast<std::size_t>(keep_chains)) return 0;
+  std::size_t removed = 0;
+  std::size_t drop = chains.size() - static_cast<std::size_t>(keep_chains);
+  for (const auto& [chain, members] : chains) {
+    if (drop == 0) break;
+    --drop;
+    for (std::uint64_t g : members)
+      if (std::remove(ring.path_for(g).c_str()) == 0) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace vpic::elastic

@@ -1,0 +1,229 @@
+// elastic/delta.hpp
+//
+// Incremental checkpoint generations (chain format VPICELA1,
+// docs/ELASTIC.md). A generation is a normal VPICCKP1 file (ckpt/file.hpp
+// envelope, CRCs, atomic commit — all unchanged) that carries two extra
+// sections:
+//
+//   "ela.meta"      ElaMeta pod: magic, kind (full/delta), generation
+//                   number, parent generation, chain base, position in
+//                   the chain
+//   "ela.manifest"  one entry per *logical* section of the snapshot:
+//                   which generation physically stores it (src_gen), how
+//                   it is stored there (codec), its logical shape, and an
+//                   FNV-64 hash of its raw payload
+//
+// A *full* generation stores every section; a *delta* stores only
+// sections whose payload hash changed since the parent, and its manifest
+// points unchanged sections back at the generation that last stored them.
+// DeltaTracker makes that decision synchronously against the deep-copied
+// FileWriter snapshot (hashing IS the dirty detection — there is no
+// event-based skip heuristic, because modules may mutate particle state
+// without signalling), and write_generation — safe to run on a background
+// pk instance — compresses and commits the plan.
+//
+// ChainReader resolves a generation back into a flat SectionSource: it
+// walks the manifest, opens the sibling ring files each src_gen lives in,
+// decodes per-section codecs, verifies every resolved payload's hash
+// against the restore target's manifest, and reassembles chunked particle
+// sections ("sp<i>.c<k>.p") into the canonical "sp<i>.p" the core restore
+// path expects. Every failure is a typed ckpt::RestoreError, so the
+// generation-ring fallback in Simulation::restore_latest walks across
+// broken deltas and broken chains exactly as it walks across corrupt
+// single files.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ckpt/file.hpp"
+#include "ckpt/format.hpp"
+#include "elastic/codec.hpp"
+
+namespace vpic::elastic {
+
+/// "VPICELA1" big-endian, mirroring ckpt::kMagic's "VPICCKP1".
+inline constexpr std::uint64_t kElaMagic = 0x56504943454C4131ull;
+
+inline constexpr std::string_view kMetaSection = "ela.meta";
+inline constexpr std::string_view kManifestSection = "ela.manifest";
+
+/// Generation kind stored in ElaMeta::kind.
+inline constexpr std::uint32_t kKindFull = 0;
+inline constexpr std::uint32_t kKindDelta = 1;
+
+struct ElaMeta {
+  std::uint64_t magic = kElaMagic;
+  std::uint32_t kind = kKindFull;
+  std::uint32_t codec = 0;        // requested Codec for stored sections
+  std::int64_t generation = 0;    // this file's ring generation number
+  std::int64_t parent = -1;       // previous generation in chain (-1: base)
+  std::int64_t base = 0;          // chain's full generation
+  std::uint64_t chain_seq = 0;    // 0 for the base, parent's seq + 1 else
+};
+static_assert(sizeof(ElaMeta) == 48);
+
+/// One logical section of the snapshot, as recorded in "ela.manifest".
+/// `codec` describes how the section is stored in `src_gen`'s file and is
+/// authoritative only in the file that physically stores the section
+/// (src_gen == that file's generation); carried-forward entries defer to
+/// the storing file's own manifest.
+struct ManifestEntry {
+  std::string name;
+  std::int64_t src_gen = 0;
+  Codec codec = Codec::None;
+  std::uint8_t layout = 0;
+  std::uint32_t elem_size = 0;
+  std::uint32_t rank = 0;
+  std::array<std::int64_t, 4> extents{};
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t hash = 0;  // FNV-64 of the raw (decoded) payload
+};
+
+/// FNV-1a 64 over a raw payload — the per-section dirty fingerprint.
+std::uint64_t payload_hash(const void* data, std::size_t n) noexcept;
+
+std::vector<std::byte> serialize_manifest(
+    const std::vector<ManifestEntry>& entries);
+/// Throws ckpt::RestoreError{SectionCorrupt} on a truncated/garbled blob.
+std::vector<ManifestEntry> parse_manifest(const std::byte* data,
+                                          std::size_t n);
+
+/// Derive the path of generation `gen` in the same ring as `path`
+/// ("<base>.g<N>" naming, ckpt/ring.hpp). Throws
+/// ckpt::RestoreError{ManifestMismatch} when `path` is not ring-shaped —
+/// a delta chain only makes sense inside a generation ring.
+std::string sibling_generation_path(const std::string& path,
+                                    std::int64_t gen);
+
+/// The synchronous half of an incremental checkpoint: which sections to
+/// physically store in generation `generation`, plus the full manifest.
+/// Self-contained — commit may run later on another thread.
+struct GenerationPlan {
+  std::int64_t generation = 0;
+  std::uint32_t kind = kKindFull;
+  Codec codec = Codec::None;
+  std::int64_t parent = -1;
+  std::int64_t base = 0;
+  std::uint64_t chain_seq = 0;
+  std::vector<ManifestEntry> entries;  // entries[i] describes sections[i]
+  std::vector<std::uint32_t> store;    // indices into entries/sections
+};
+
+/// Outcome of write_generation, accumulated by the simulation into its
+/// checkpoint stats and reported by bench/checkpoint.cpp.
+struct GenStats {
+  std::uint32_t kind = kKindFull;
+  std::uint32_t sections_total = 0;
+  std::uint32_t sections_stored = 0;
+  std::uint64_t logical_bytes = 0;     // raw bytes of the whole snapshot
+  std::uint64_t stored_raw_bytes = 0;  // raw bytes of stored sections
+  std::uint64_t stored_bytes = 0;      // post-codec bytes actually written
+  std::uint64_t file_bytes = 0;        // committed file size
+};
+
+/// Tracks per-section payload hashes across generations and decides, for
+/// each new snapshot, full-vs-delta and the per-section store set.
+/// plan() must be called in generation order from one thread (the
+/// simulation's checkpoint path); the returned plan is immutable and may
+/// be committed asynchronously.
+class DeltaTracker {
+ public:
+  /// A full generation is forced every `full_every` generations
+  /// (full_every <= 1 disables deltas entirely).
+  explicit DeltaTracker(int full_every) : full_every_(full_every) {}
+
+  GenerationPlan plan(const std::vector<ckpt::EncodedSection>& sections,
+                      std::int64_t generation, Codec codec);
+
+  /// Forget the chain: the next plan() is a full generation. Called after
+  /// restore (on-disk chain no longer matches tracked hashes) and after a
+  /// failed commit.
+  void invalidate() {
+    base_ = -1;
+    last_ = -1;
+    chain_seq_ = 0;
+    prev_.clear();
+  }
+
+  [[nodiscard]] int full_every() const noexcept { return full_every_; }
+
+ private:
+  struct Prev {
+    std::uint64_t hash = 0;
+    std::int64_t src_gen = 0;
+    std::uint8_t layout = 0;
+    std::uint32_t elem_size = 0;
+    std::uint32_t rank = 0;
+    std::array<std::int64_t, 4> extents{};
+    std::uint64_t raw_bytes = 0;
+  };
+
+  int full_every_;
+  std::int64_t base_ = -1;
+  std::int64_t last_ = -1;
+  std::uint64_t chain_seq_ = 0;
+  std::map<std::string, Prev, std::less<>> prev_;
+};
+
+/// Compress + commit a planned generation to `path` (a ring generation
+/// path). Sections listed in plan.store are written physically — run
+/// through the plan's codec with a per-section raw fallback when packing
+/// does not shrink the payload — alongside "ela.meta" and "ela.manifest".
+/// Throws ckpt::RestoreError{IoError} like FileWriter::commit.
+GenStats write_generation(const std::string& path,
+                          const std::vector<ckpt::EncodedSection>& sections,
+                          const GenerationPlan& plan,
+                          std::uint64_t fingerprint, std::int64_t step);
+
+/// Resolve a committed generation (base or delta) into a flat section
+/// set. All referenced sibling generations are opened, validated and
+/// decoded in the constructor; chunked particle sections are reassembled
+/// into the canonical "sp<i>.p" names. Failures throw typed
+/// ckpt::RestoreError so ring fallback logic works unchanged.
+class ChainReader : public ckpt::SectionSource {
+ public:
+  explicit ChainReader(const std::string& path);
+
+  [[nodiscard]] bool has(std::string_view name) const override {
+    return resolved_.count(std::string(name)) != 0;
+  }
+  [[nodiscard]] std::vector<std::string> section_names() const override;
+  const ckpt::EncodedSection& section(std::string_view name) override;
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept override {
+    return fingerprint_;
+  }
+  [[nodiscard]] std::int64_t step() const noexcept override { return step_; }
+
+  [[nodiscard]] const ElaMeta& meta() const noexcept { return meta_; }
+  /// Generations (including this one) the resolution touched.
+  [[nodiscard]] const std::vector<std::int64_t>& sources() const noexcept {
+    return sources_;
+  }
+
+  /// Does `path` name a chain generation? (Cheap envelope probe; false
+  /// for plain checkpoints and unreadable files.)
+  static bool is_chain_file(const std::string& path) noexcept;
+
+ private:
+  void reassemble_particles();
+
+  ElaMeta meta_{};
+  std::uint64_t fingerprint_ = 0;
+  std::int64_t step_ = 0;
+  std::map<std::string, ckpt::EncodedSection, std::less<>> resolved_;
+  std::vector<std::int64_t> sources_;
+};
+
+/// Chain-aware pruning: keep the newest `keep_chains` complete chains in
+/// the ring and remove every generation of older chains — never orphaning
+/// a delta whose base was pruned. Plain (non-chain) generations count as
+/// single-generation chains. Returns the number of files removed.
+std::size_t prune_chains(const std::string& ring_base, int keep_chains);
+
+}  // namespace vpic::elastic

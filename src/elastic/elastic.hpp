@@ -1,0 +1,8 @@
+// elastic/elastic.hpp — umbrella header for vpic::elastic: incremental
+// delta-compressed checkpoint generations, the lossless particle-payload
+// codec, and N→M checkpoint redecomposition (docs/ELASTIC.md).
+#pragma once
+
+#include "elastic/codec.hpp"       // IWYU pragma: export
+#include "elastic/delta.hpp"       // IWYU pragma: export
+#include "elastic/redecompose.hpp" // IWYU pragma: export

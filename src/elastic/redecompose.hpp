@@ -1,0 +1,111 @@
+// elastic/redecompose.hpp
+//
+// N→M restart (docs/ELASTIC.md): rewrite a k-rank distributed checkpoint
+// directory (core/checkpoint.cpp layout — "rank<r>.ckpt" files plus a
+// "manifest.ckpt") into an m-rank directory for any m dividing the global
+// nz, such that restoring the m-rank set yields per-voxel state byte-equal
+// (on interior voxels) and canonically-ordered particle state byte-equal
+// to a same-rank restore.
+//
+// The invariants that make this a pure data-movement problem:
+//
+//   * every per-voxel array (nine field components, interpolators,
+//     accumulators) is a flat rank-1 view of nv = (nx+2)(ny+2)(nzl+2)
+//     elements with voxel(ix,iy,iz) = (iz*sy + iy)*sx + ix — plane-major
+//     in z — so a whole z-plane of sx*sy elements (x/y ghosts included)
+//     moves verbatim between decompositions,
+//   * interior plane iz of rank r is global plane z_offset(r) + iz - 1;
+//     z-ghost planes are the periodic neighbors' boundary interior
+//     planes, refilled from the reassembled global array (they are
+//     refreshed by the halo exchange at the top of the next step anyway),
+//   * a particle's record changes only in its voxel index (byte offset
+//     12): positions are cell-local, momenta are cell-independent. The
+//     re-bucketing walks old ranks in rank order and appends per new
+//     owner (a stable bucket sort by global z-plane), so the canonical
+//     order "stable-sort by global voxel" is byte-identical across any
+//     decomposition of the same global state.
+//
+// The rewritten manifest carries the new rank count and a recomputed
+// config fingerprint — domain_fingerprint() below feeds the exact byte
+// sequence DistributedSimulation::config_fingerprint() hashes, which is
+// what lets an m-rank communicator restore the rewritten set through the
+// completely unchanged validation path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/format.hpp"
+
+namespace vpic::elastic {
+
+/// The physics-defining half of core::DomainConfig, stored as the
+/// "manifest.domain" section of a distributed checkpoint manifest so a
+/// redecomposer can recompute the fingerprint for a different rank count
+/// without the deck in hand. Padding is explicit and zeroed (the pod is
+/// serialized raw).
+struct DomainPod {
+  std::int32_t nx = 0, ny = 0, nz = 0;
+  float lx = 0, ly = 0, lz = 0, dt = 0;
+  std::uint32_t strategy = 0;
+  std::uint64_t seed = 0;
+  std::uint8_t overlap = 0;
+  std::uint8_t pad_[7] = {0, 0, 0, 0, 0, 0, 0};
+};
+static_assert(sizeof(DomainPod) == 48, "no implicit padding allowed");
+
+struct SpeciesId {
+  std::string name;
+  float q = 0, m = 0;
+};
+
+/// Byte-for-byte the fingerprint DistributedSimulation::config_fingerprint
+/// computes for this domain at `nranks` ranks (core/checkpoint.cpp calls
+/// this too, so the two can never drift apart).
+inline std::uint64_t domain_fingerprint(const DomainPod& d, int nranks,
+                                        const std::vector<SpeciesId>& species) {
+  ckpt::Fingerprint fp;
+  fp.add(d.nx);
+  fp.add(d.ny);
+  fp.add(d.nz);
+  fp.add(d.lx);
+  fp.add(d.ly);
+  fp.add(d.lz);
+  fp.add(d.dt);
+  fp.add(d.strategy);
+  fp.add(d.seed);
+  fp.add(d.overlap);
+  fp.add(nranks);
+  for (const SpeciesId& sp : species) {
+    fp.add_string(sp.name);
+    fp.add(sp.q);
+    fp.add(sp.m);
+  }
+  return fp.value();
+}
+
+struct RedecomposeStats {
+  int src_ranks = 0;
+  int dst_ranks = 0;
+  std::int64_t step = 0;
+  std::uint64_t particles = 0;       // total re-bucketed, all species
+  std::uint64_t voxel_sections = 0;  // per-voxel arrays reassembled
+  std::uint64_t bytes_out = 0;       // committed bytes of the new set
+};
+
+/// Reads the k-rank checkpoint in `src_dir`, re-buckets it onto
+/// `dst_ranks` ranks, and writes a complete m-rank checkpoint directory
+/// to `dst_dir` (created if needed; rank files first, manifest last —
+/// same crash ladder as a live distributed checkpoint). Throws
+/// ckpt::RestoreError on any validation failure (missing
+/// "manifest.domain" — pre-elastic checkpoints cannot be rescaled — or
+/// dst_ranks not dividing nz, kind ManifestMismatch) and never writes a
+/// manifest over a partial set.
+class Redecomposer {
+ public:
+  static RedecomposeStats run(const std::string& src_dir,
+                              const std::string& dst_dir, int dst_ranks);
+};
+
+}  // namespace vpic::elastic

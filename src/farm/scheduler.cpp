@@ -80,6 +80,12 @@ struct Scheduler::Job {
   bool preempt_req = false;
   bool drop_ckpt_on_cancel = false;
   bool has_ckpt = false;  // the ring holds at least one generation
+  // Elastic rescale overrides (docs/ELASTIC.md), guarded by mu_; 0 means
+  // "deck default". Snapshotted by the owning worker before the slice and
+  // applied to the freshly built engine's TileConfig ahead of restore.
+  int workers_override = 0;
+  int tiles_override = 0;
+  std::int64_t rescales = 0;
   std::optional<core::Simulation> sim;  // resident engine (may be parked)
   double field_energy = 0;
   std::vector<double> kinetic;
@@ -212,7 +218,8 @@ void Scheduler::park_to_ring(Job& j) {
   j.sim.reset();
 }
 
-SliceOutcome Scheduler::run_slice(Job& j, bool restore_from_ring) {
+SliceOutcome Scheduler::run_slice(Job& j, bool restore_from_ring,
+                                  int workers, int tiles) {
   SliceOutcome out;
   try {
     // Every engine counter fired during this slice (sort/push dispatch,
@@ -220,6 +227,17 @@ SliceOutcome Scheduler::run_slice(Job& j, bool restore_from_ring) {
     prof::CounterScope scope("job." + j.spec.name + ".");
     if (!j.sim) {
       j.sim.emplace(j.spec.make());
+      // Elastic rescale: the override reshapes the fresh engine before the
+      // restore. Legal because TileConfig is excluded from the checkpoint
+      // fingerprint — the parked state is shape-agnostic (docs/ELASTIC.md).
+      if (workers > 0) {
+        auto& t = j.sim->config().tiles;
+        t.enabled = true;
+        t.exec = core::TileExec::Stealing;
+        t.workers = workers;
+        if (tiles > 0) t.count = tiles;
+        prof::counter_add("farm.rescale_applied");
+      }
       if (restore_from_ring) {
         j.sim->restore_latest(j.ring_base);
         out.restores = 1;
@@ -275,8 +293,10 @@ void Scheduler::worker_loop() {
     j->yield.store(false, std::memory_order_relaxed);
     j->preempt_req = false;
     const bool restore_from_ring = j->has_ckpt && !j->sim;
+    const int workers = j->workers_override;
+    const int tiles = j->tiles_override;
     lk.unlock();
-    SliceOutcome out = run_slice(*j, restore_from_ring);
+    SliceOutcome out = run_slice(*j, restore_from_ring, workers, tiles);
     lk.lock();
     if (out.failed) {
       --running_;
@@ -472,6 +492,46 @@ bool Scheduler::set_priority(const std::string& name, int priority) {
   return false;
 }
 
+bool Scheduler::rescale(const std::string& name, int workers, int tiles) {
+  if (workers < 1) return false;
+  std::lock_guard lk(mu_);
+  for (const auto& jp : jobs_) {
+    if (jp->spec.name != name) continue;
+    Job& j = *jp;
+    if (is_terminal(j.state)) return false;
+    j.workers_override = workers;
+    j.tiles_override = tiles;
+    ++j.rescales;
+    if (j.state == JobState::Running) {
+      // Checkpoint-and-release at the next step boundary; the rebuild
+      // picks up the new shape before restoring.
+      j.preempt_req = true;
+      j.yield.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    if (is_runnable(j.state) && j.sim) {
+      // Resident but not stepping: park inline so the next slice rebuilds
+      // at the new shape instead of continuing the warm engine.
+      try {
+        park_to_ring(j);
+      } catch (const std::exception& e) {
+        finalize_locked(j, JobState::Failed,
+                        std::string("park: ") + e.what());
+        return false;
+      }
+      j.has_ckpt = true;
+      ++j.checkpoints;
+      j.state = JobState::Preempted;
+      cv_work_.notify_all();
+      cv_state_.notify_all();
+    }
+    // Paused or already-parked jobs: the override simply applies when the
+    // engine is next rebuilt.
+    return true;
+  }
+  return false;
+}
+
 JobStatus Scheduler::status_of_locked(const Job& j) const {
   JobStatus s;
   s.name = j.spec.name;
@@ -484,6 +544,9 @@ JobStatus Scheduler::status_of_locked(const Job& j) const {
   s.preemptions = j.preemptions;
   s.restores = j.restores;
   s.checkpoints = j.checkpoints;
+  s.rescales = j.rescales;
+  s.rescale_workers = j.workers_override;
+  s.rescale_tiles = j.tiles_override;
   s.vtime = j.vtime;
   s.field_energy = j.field_energy;
   s.kinetic = j.kinetic;

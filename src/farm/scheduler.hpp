@@ -91,6 +91,15 @@ class Scheduler {
   bool preempt(const std::string& name);
   /// Re-prioritize; may trigger a preemption of a lower-priority runner.
   bool set_priority(const std::string& name, int priority);
+  /// Elastic rescale (docs/ELASTIC.md): the next time the job's engine is
+  /// rebuilt it runs with `workers` stealing-pool threads and, when
+  /// `tiles` > 0, that many z-slab tiles (TileConfig — excluded from the
+  /// checkpoint fingerprint, so the parked state restores unchanged). A
+  /// running job is preempted so the new shape takes effect promptly; a
+  /// resident queued job is parked. The override persists across further
+  /// preemptions until the next rescale. `workers` < 1 or an unknown /
+  /// terminal job returns false.
+  bool rescale(const std::string& name, int workers, int tiles = 0);
 
   /// Status of every job ever submitted, in submission order.
   [[nodiscard]] std::vector<JobStatus> snapshot() const;
@@ -122,7 +131,10 @@ class Scheduler {
   /// One scheduling quantum, run with mu_ dropped: build/restore the
   /// engine if needed, step to the slice target or an early yield, sample
   /// energies. Returns what happened; the caller applies it under mu_.
-  SliceOutcome run_slice(Job& j, bool restore_from_ring);
+  /// `workers`/`tiles` are the job's rescale overrides, snapshotted under
+  /// mu_ by the caller (0 = deck default).
+  SliceOutcome run_slice(Job& j, bool restore_from_ring, int workers,
+                         int tiles);
   void finalize_locked(Job& j, JobState terminal, const std::string& error);
   [[nodiscard]] JobStatus status_of_locked(const Job& j) const;
 

@@ -71,6 +71,9 @@ std::string status_record(
      << ",\"preemptions\":" << s.preemptions
      << ",\"restores\":" << s.restores
      << ",\"checkpoints\":" << s.checkpoints
+     << ",\"rescales\":" << s.rescales
+     << ",\"rescale_workers\":" << s.rescale_workers
+     << ",\"rescale_tiles\":" << s.rescale_tiles
      << ",\"vtime\":" << fmt_double(s.vtime)
      << ",\"field_energy\":" << fmt_double(s.field_energy)
      << ",\"kinetic\":[";
@@ -178,6 +181,17 @@ std::string StatusBus::handle_command(const std::string& request) {
       os << (i ? "," : "") << status_record(jobs[i], counters);
     os << "]}";
     return os.str();
+  }
+  if (verb == "rescale") {
+    int workers = 0, tiles = 0;
+    if (!(is >> job >> workers))
+      return ok_json(false, "rescale: usage: rescale <job> <workers> [tiles]");
+    is >> tiles;  // optional; stays 0 (auto) when absent
+    return sched_.rescale(job, workers, tiles)
+               ? ok_json(true)
+               : ok_json(false,
+                         "rescale: no such job, terminal state, or bad "
+                         "worker count: '" + job + "'");
   }
   if (verb == "pause" || verb == "resume" || verb == "cancel" ||
       verb == "preempt" || verb == "prio") {

@@ -11,6 +11,10 @@
 //   cancel <job> [drop]       Scheduler::cancel ("drop" purges the ring)
 //   preempt <job>             Scheduler::preempt
 //   prio <job> <int>          Scheduler::set_priority
+//   rescale <job> <workers> [tiles]
+//                             Scheduler::rescale — park the job and
+//                             resume it at a new tile-worker shape
+//                             (elastic rescale, docs/ELASTIC.md)
 //
 // Command responses are one JSON object: {"ok":true,...} or
 // {"ok":false,"error":"..."}. The `status` response reuses the

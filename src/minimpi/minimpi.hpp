@@ -122,6 +122,18 @@ class Comm {
   template <class T>
   void bcast(T* data, std::size_t n, int root);
 
+  /// Broadcast a variable-length string from `root` (size first, then
+  /// payload). Convenience for collective error propagation — e.g. the
+  /// elastic rescale path, where rank 0 redecomposes a checkpoint and
+  /// every rank must agree on whether that succeeded before restoring
+  /// (core/checkpoint.cpp, docs/ELASTIC.md).
+  void bcast(std::string& s, int root) {
+    std::uint64_t n = s.size();
+    bcast(&n, 1, root);
+    if (rank() != root) s.resize(n);
+    if (n != 0) bcast(s.data(), n, root);
+  }
+
   /// Gather each rank's `n` elements to `root` in rank order (MPI_Gather).
   /// Non-root ranks return an empty vector.
   template <class T>

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -44,8 +45,13 @@ class PkEnv : public ::testing::Environment {
  public:
   // One kernel thread: the bit-identity test compares checkpoint bytes,
   // and float-atomic deposits are nondeterministic with wider teams. Farm
-  // worker threads are independent of this setting.
-  void SetUp() override { pk::initialize(1); }
+  // worker threads are independent of this setting. The tune cache is
+  // pinned off: a stale .vpic_tune.json can flip sort/push dispatch
+  // between the interrupted and uninterrupted runs being compared.
+  void SetUp() override {
+    setenv("VPIC_TUNE", "off", 1);
+    pk::initialize(1);
+  }
 };
 [[maybe_unused]] const auto* const env =
     ::testing::AddGlobalTestEnvironment(new PkEnv);
@@ -452,6 +458,101 @@ TEST(FarmScheduler, ResumeAcrossSchedulerInstances) {
     EXPECT_GE(st->restores, 1);  // picked the ring up at submit
   }
   EXPECT_TRUE(read_bytes(ref_ckpt) == read_bytes(farm_ckpt));
+}
+
+// ---- elastic rescale ------------------------------------------------
+
+TEST(FarmScheduler, RescaleMidRunResumesAtNewShape) {
+  const auto dir = scratch("rescale");
+  constexpr std::int64_t kSteps = 200;
+
+  // Reference: the same deck, uninterrupted, untiled. The rescaled job
+  // switches to tiled Stealing execution mid-run, so the deposit
+  // grouping differs by float roundoff — energies match to a tolerance,
+  // not bitwise.
+  double ref_field = 0;
+  std::vector<double> ref_kinetic;
+  {
+    auto ref = make_lpi_small();
+    ref.run(static_cast<int>(kSteps));
+    const auto e = ref.energies();
+    ref_field = e.field;
+    ref_kinetic.assign(e.species.begin(), e.species.end());
+  }
+
+  farm::Scheduler::Options opt;
+  opt.max_concurrent = 1;
+  opt.slice_steps = 6;
+  opt.ring_dir = (dir / "rings").string();
+  farm::Scheduler s(opt);
+  s.submit(lpi_job("scale", kSteps));
+  ASSERT_TRUE(poll_status(s, "scale", [](const farm::JobStatus& st) {
+    return st.step > 0;
+  }));
+
+  EXPECT_FALSE(s.rescale("ghost", 2));  // unknown job
+  EXPECT_FALSE(s.rescale("scale", 0));  // bad worker count
+  ASSERT_TRUE(s.rescale("scale", 2, 4));
+
+  const auto st = s.wait("scale");
+  ASSERT_TRUE(st.has_value());
+  ASSERT_EQ(st->state, farm::JobState::Completed) << st->error;
+  EXPECT_EQ(st->step, kSteps);
+  EXPECT_GE(st->rescales, 1);
+  EXPECT_EQ(st->rescale_workers, 2);
+  EXPECT_EQ(st->rescale_tiles, 4);
+  // The rescale parked the resident engine (checkpoint + release) and the
+  // next slice rebuilt it at the new shape from the ring.
+  EXPECT_GE(st->checkpoints, 1);
+  EXPECT_GE(st->restores, 1);
+
+  EXPECT_NEAR(st->field_energy, ref_field, 1e-2 * std::abs(ref_field));
+  ASSERT_EQ(st->kinetic.size(), ref_kinetic.size());
+  for (std::size_t i = 0; i < ref_kinetic.size(); ++i)
+    EXPECT_NEAR(st->kinetic[i], ref_kinetic[i],
+                1e-2 * std::abs(ref_kinetic[i]));
+
+  // The Stealing engine actually ran post-rescale: pool telemetry landed
+  // in the job's counter namespace.
+  EXPECT_GE(prof::counter_value("job.scale.steal.tasks_run"), 1u);
+
+  // Terminal jobs refuse further rescales.
+  EXPECT_FALSE(s.rescale("scale", 4));
+}
+
+TEST(FarmStatusBus, RescaleCommandSteersAndReports) {
+  const auto dir = scratch("rescale_bus");
+  farm::Scheduler::Options opt;
+  opt.max_concurrent = 1;
+  opt.slice_steps = 4;
+  opt.ring_dir = (dir / "rings").string();
+  farm::Scheduler s(opt);
+  farm::StatusBus bus(s, 0);
+
+  EXPECT_NE(bus.handle_command("rescale").find("usage"), std::string::npos);
+  EXPECT_NE(bus.handle_command("rescale ghost 2").find("\"ok\":false"),
+            std::string::npos);
+
+  s.submit(lpi_job("job", 400));
+  ASSERT_TRUE(poll_status(s, "job", [](const farm::JobStatus& st) {
+    return st.step > 0;
+  }));
+  EXPECT_NE(bus.handle_command("rescale job 0").find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_EQ(bus.handle_command("rescale job 2 4"), "{\"ok\":true}");
+  ASSERT_TRUE(poll_status(s, "job", [](const farm::JobStatus& st) {
+    return st.rescales >= 1;
+  }));
+
+  const std::string status = bus.handle_command("status");
+  EXPECT_NE(status.find("\"rescales\":"), std::string::npos);
+  EXPECT_NE(status.find("\"rescale_workers\":2"), std::string::npos);
+  EXPECT_NE(status.find("\"rescale_tiles\":4"), std::string::npos);
+
+  ASSERT_TRUE(s.cancel("job"));
+  ASSERT_TRUE(poll_status(s, "job", [](const farm::JobStatus& st) {
+    return st.state == farm::JobState::Cancelled;
+  }));
 }
 
 // ---- per-job prof counter scoping -----------------------------------

@@ -32,7 +32,12 @@ class PkEnv : public ::testing::Environment {
   // graph *scheduler* never reorders conflicting phases. Instance worker
   // threads (what the graph schedules onto) are independent of this
   // setting, so the concurrency tests still exercise real parallelism.
-  void SetUp() override { pk::initialize(1); }
+  // The tune cache is pinned off: a stale .vpic_tune.json can flip
+  // dispatch decisions between the two runs being compared bit-for-bit.
+  void SetUp() override {
+    setenv("VPIC_TUNE", "off", 1);
+    pk::initialize(1);
+  }
 };
 [[maybe_unused]] const auto* const env =
     ::testing::AddGlobalTestEnvironment(new PkEnv);
